@@ -1,0 +1,53 @@
+//! # gt-baselines — comparator algorithms for the evaluation
+//!
+//! Every algorithm the experiments compare the Gibbons–Tirthapura sketch
+//! against, implemented from scratch behind one trait so harnesses are
+//! generic:
+//!
+//! * [`exact`] — a hash-set counter: ground truth and the memory ceiling.
+//! * [`pcsa`] — Flajolet–Martin *Probabilistic Counting with Stochastic
+//!   Averaging* (1985): the standard of the paper's era. Mergeable (bitmap
+//!   OR) but keeps no labels, so it cannot answer predicate/similarity
+//!   queries, and its relative error is fixed by its bitmap count.
+//! * [`loglog`] — Durand–Flajolet LogLog (the direction the field took
+//!   after the paper; HyperLogLog's direct ancestor). Tiny space,
+//!   mergeable (register max), same no-labels limitation.
+//! * [`hyperloglog`] — full HyperLogLog with harmonic mean and the
+//!   small-range linear-counting correction: the modern endpoint of that
+//!   lineage.
+//! * [`linear_counting`] — Whang et al. linear counting: excellent at small
+//!   cardinalities, linear space in the range it can count.
+//! * [`kmv`] — K-Minimum-Values / bottom-k: the *descendant* of this
+//!   paper's coordinated sampling (per the novelty note, what Apache
+//!   DataSketches' Theta sketch generalizes). Mergeable, keeps hashed
+//!   values.
+//! * [`reservoir`] — uniform reservoir sampling: the strawman the paper's
+//!   introduction dismisses. Deliberately included to *demonstrate* (E5)
+//!   that uncoordinated samples are biased for distinct counting and do
+//!   not union.
+//!
+//! All randomized baselines draw their hash functions from
+//! `gt-hash`'s seeded pairwise family, so equal-seed instances are
+//! coordinated where the algorithm supports it and comparisons are
+//! apples-to-apples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod hyperloglog;
+pub mod kmv;
+pub mod linear_counting;
+pub mod loglog;
+pub mod pcsa;
+pub mod reservoir;
+pub mod traits;
+
+pub use exact::ExactDistinct;
+pub use hyperloglog::HyperLogLog;
+pub use kmv::KmvSketch;
+pub use linear_counting::LinearCounter;
+pub use loglog::LogLogSketch;
+pub use pcsa::PcsaSketch;
+pub use reservoir::ReservoirSample;
+pub use traits::DistinctCounter;

@@ -1,0 +1,167 @@
+//! Linear counting (Whang, Vander-Zanden & Taylor 1990).
+//!
+//! Hash each label into a bitmap of `m` bits; estimate
+//! `n̂ = −m · ln(V)` where `V` is the fraction of bits still zero.
+//! Extremely accurate while the bitmap is sparse, useless once it
+//! saturates (`V → 0`), and the bitmap must scale *linearly* with the
+//! cardinality — the contrast that motivates logarithmic-space sketches.
+//! Mergeable by bitmap OR.
+
+use crate::traits::DistinctCounter;
+use gt_core::{Mergeable, Result, SketchError};
+use gt_hash::{FamilySeed, HashFamily, HashFamilyKind, LevelHasher};
+
+/// A linear-counting bitmap.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct LinearCounter {
+    words: Vec<u64>,
+    bits: usize,
+    hasher: HashFamily,
+    seed: u64,
+}
+
+impl LinearCounter {
+    /// Create a counter with `bits` bitmap bits (rounded up to a multiple
+    /// of 64, minimum 64).
+    pub fn new(bits: usize, seed: u64) -> Self {
+        let bits = bits.max(64).next_multiple_of(64);
+        LinearCounter {
+            words: vec![0u64; bits / 64],
+            bits,
+            hasher: HashFamilyKind::Pairwise.build(FamilySeed(seed ^ 0x11EA_C017)),
+            seed,
+        }
+    }
+
+    /// Bitmap size in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Number of zero bits remaining.
+    pub fn zero_bits(&self) -> usize {
+        self.bits
+            - self
+                .words
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
+    }
+
+    /// Whether the bitmap has saturated (estimate undefined / infinite).
+    pub fn is_saturated(&self) -> bool {
+        self.zero_bits() == 0
+    }
+}
+
+impl DistinctCounter for LinearCounter {
+    fn insert(&mut self, label: u64) {
+        let h = self.hasher.hash_label(label);
+        let bit = (h % self.bits as u64) as usize;
+        self.words[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    fn estimate(&self) -> f64 {
+        let v = self.zero_bits() as f64 / self.bits as f64;
+        if v == 0.0 {
+            // Saturated: report the (finite) estimate for a single
+            // remaining zero bit as a floor, flagged via is_saturated().
+            return self.bits as f64 * (self.bits as f64).ln();
+        }
+        -(self.bits as f64) * v.ln()
+    }
+
+    fn summary_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-counting"
+    }
+}
+
+impl Mergeable for LinearCounter {
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.seed != other.seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        if self.bits != other.bits {
+            return Err(SketchError::ConfigMismatch {
+                detail: format!("bits {} vs {}", self.bits, other.bits),
+            });
+        }
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(range: std::ops::Range<u64>) -> impl Iterator<Item = u64> {
+        range.map(gt_hash::fold61)
+    }
+
+    #[test]
+    fn accurate_in_the_sparse_regime() {
+        let mut c = LinearCounter::new(1 << 16, 1);
+        let n = 10_000u64; // load factor ~0.15
+        c.extend_labels(labels(0..n));
+        let rel = (c.estimate() - n as f64).abs() / n as f64;
+        assert!(rel < 0.03, "estimate {} rel {rel}", c.estimate());
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let c = LinearCounter::new(1024, 2);
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.zero_bits(), 1024);
+    }
+
+    #[test]
+    fn saturation_is_detected() {
+        let mut c = LinearCounter::new(64, 3);
+        c.extend_labels(labels(0..10_000));
+        assert!(c.is_saturated());
+        assert!(c.estimate().is_finite());
+    }
+
+    #[test]
+    fn duplicate_insensitive() {
+        let mut once = LinearCounter::new(4096, 4);
+        let mut many = LinearCounter::new(4096, 4);
+        once.extend_labels(labels(0..500));
+        for _ in 0..7 {
+            many.extend_labels(labels(0..500));
+        }
+        assert_eq!(once.words, many.words);
+    }
+
+    #[test]
+    fn merge_is_bitmap_or() {
+        let mut a = LinearCounter::new(4096, 5);
+        let mut b = LinearCounter::new(4096, 5);
+        let mut whole = LinearCounter::new(4096, 5);
+        a.extend_labels(labels(0..300));
+        b.extend_labels(labels(200..600));
+        whole.extend_labels(labels(0..600));
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.words, whole.words);
+    }
+
+    #[test]
+    fn merge_rejects_mismatches() {
+        let mut a = LinearCounter::new(4096, 1);
+        assert!(a.merge_from(&LinearCounter::new(4096, 2)).is_err());
+        assert!(a.merge_from(&LinearCounter::new(8192, 1)).is_err());
+    }
+
+    #[test]
+    fn bits_round_to_word_multiple() {
+        assert_eq!(LinearCounter::new(100, 1).bits(), 128);
+        assert_eq!(LinearCounter::new(1, 1).bits(), 64);
+    }
+}

@@ -1,0 +1,165 @@
+//! Uniform reservoir sampling — the paper's motivating *negative* example.
+//!
+//! A reservoir holds a uniform sample of the stream's **items** (with
+//! multiplicity), which is the wrong object for distinct-value questions:
+//!
+//! 1. **Duplication bias.** Heavy labels dominate the sample, so the
+//!    naive scale-up estimator `distinct(sample) · N / |sample|` wildly
+//!    overcounts duplicate-heavy streams (and is not fixable without
+//!    knowing the duplication structure — exactly what we don't have).
+//! 2. **No union.** Two reservoirs drawn with independent randomness
+//!    cannot be combined into a uniform sample of the union of *distinct
+//!    labels*; concatenating them re-weights by stream length and double
+//!    counts the overlap.
+//!
+//! The implementation is a textbook Algorithm-R reservoir. Its
+//! `DistinctCounter::estimate` implements the naive scale-up so that
+//! experiments E5/E6 can plot how wrong it is; the doc comments say so
+//! loudly. It deliberately does **not** implement `Mergeable`.
+
+use crate::traits::DistinctCounter;
+use gt_hash::SeedRng;
+use std::collections::HashSet;
+
+/// A uniform (per-item) reservoir sample of the stream.
+#[derive(Clone, Debug)]
+pub struct ReservoirSample {
+    sample: Vec<u64>,
+    capacity: usize,
+    items_seen: u64,
+    rng: SeedRng,
+}
+
+impl ReservoirSample {
+    /// Create a reservoir holding `capacity ≥ 1` items.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        ReservoirSample {
+            sample: Vec::with_capacity(capacity),
+            capacity,
+            items_seen: 0,
+            rng: SeedRng::from_seed(seed ^ 0x5E5E_0112),
+        }
+    }
+
+    /// The sampled items (with multiplicity, as drawn).
+    pub fn sample(&self) -> &[u64] {
+        &self.sample
+    }
+
+    /// Stream length observed so far.
+    pub fn items_seen(&self) -> u64 {
+        self.items_seen
+    }
+
+    /// Number of *distinct* labels within the sample.
+    pub fn distinct_in_sample(&self) -> usize {
+        self.sample.iter().collect::<HashSet<_>>().len()
+    }
+}
+
+impl DistinctCounter for ReservoirSample {
+    fn insert(&mut self, label: u64) {
+        self.items_seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(label);
+        } else {
+            let j = self.rng.below(self.items_seen);
+            if (j as usize) < self.capacity {
+                self.sample[j as usize] = label;
+            }
+        }
+    }
+
+    /// The **naive scale-up estimator** — known-biased, kept for the E5/E6
+    /// demonstrations: `distinct(sample) · N / |sample|` assumes every
+    /// label appears once, so duplicate-heavy streams are overcounted by
+    /// up to the duplication factor.
+    fn estimate(&self) -> f64 {
+        if self.sample.is_empty() {
+            return 0.0;
+        }
+        let d = self.distinct_in_sample() as f64;
+        d * self.items_seen as f64 / self.sample.len() as f64
+    }
+
+    fn summary_bytes(&self) -> usize {
+        self.capacity * std::mem::size_of::<u64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "reservoir-naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_is_uniform_over_items() {
+        // Insert 0..n once each; every item should appear in the sample
+        // with probability capacity/n (check the mean occupancy of a
+        // bucketed range).
+        let n = 10_000u64;
+        let cap = 1_000usize;
+        let mut counts = [0u32; 10];
+        for seed in 0..30 {
+            let mut r = ReservoirSample::new(cap, seed);
+            r.extend_labels(0..n);
+            for &x in r.sample() {
+                counts[(x / (n / 10)) as usize] += 1;
+            }
+        }
+        let total: u32 = counts.iter().sum();
+        let expect = total as f64 / 10.0;
+        for (bucket, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "bucket {bucket}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_never_exceeds_capacity() {
+        let mut r = ReservoirSample::new(100, 1);
+        r.extend_labels(0..100_000);
+        assert_eq!(r.sample().len(), 100);
+        assert_eq!(r.items_seen(), 100_000);
+    }
+
+    #[test]
+    fn exact_when_stream_fits() {
+        let mut r = ReservoirSample::new(1_000, 2);
+        r.extend_labels(0..500);
+        assert_eq!(r.estimate(), 500.0);
+    }
+
+    #[test]
+    fn naive_estimator_overcounts_duplicated_streams() {
+        // 1000 distinct labels, each repeated 50 times. The naive
+        // estimator lands near 50·1000, not 1000 — this documented failure
+        // is the point of the baseline.
+        let mut r = ReservoirSample::new(500, 3);
+        for rep in 0..50 {
+            let _ = rep;
+            r.extend_labels(0..1_000);
+        }
+        let est = r.estimate();
+        assert!(est > 10_000.0, "naive estimate should overcount, got {est}");
+    }
+
+    #[test]
+    fn empty_reservoir_estimates_zero() {
+        let r = ReservoirSample::new(10, 4);
+        assert_eq!(r.estimate(), 0.0);
+        assert_eq!(r.distinct_in_sample(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        ReservoirSample::new(0, 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! The common interface all distinct-counting baselines implement, so the
+//! experiment harness can sweep algorithms generically.
+
+pub use gt_core::Mergeable;
+
+/// A streaming distinct-count estimator.
+///
+/// ```
+/// use gt_baselines::{DistinctCounter, HyperLogLog, KmvSketch, PcsaSketch};
+/// fn run(mut c: impl DistinctCounter) -> f64 {
+///     c.extend_labels((0..50_000u64).map(gt_hash::fold61));
+///     c.estimate()
+/// }
+/// for est in [run(PcsaSketch::new(256, 1)), run(KmvSketch::new(1024, 2)), run(HyperLogLog::new(1024, 3))] {
+///     assert!((est - 50_000.0).abs() < 0.2 * 50_000.0, "{est}");
+/// }
+/// ```
+pub trait DistinctCounter {
+    /// Observe one label from `[0, 2^61 − 1)`.
+    fn insert(&mut self, label: u64);
+
+    /// Current estimate of the number of distinct labels observed.
+    fn estimate(&self) -> f64;
+
+    /// Bytes of summary state (for equal-space comparisons, E6). Counts
+    /// the resident summary, not transient buffers.
+    fn summary_bytes(&self) -> usize;
+
+    /// A short stable name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Observe every label from an iterator.
+    fn extend_labels(&mut self, labels: impl IntoIterator<Item = u64>)
+    where
+        Self: Sized,
+    {
+        for l in labels {
+            self.insert(l);
+        }
+    }
+}
+
+impl DistinctCounter for gt_core::DistinctSketch {
+    fn insert(&mut self, label: u64) {
+        gt_core::DistinctSketch::insert(self, label);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.estimate_distinct().value
+    }
+
+    fn summary_bytes(&self) -> usize {
+        self.heap_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "gt-sketch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_core::SketchConfig;
+
+    #[test]
+    fn gt_sketch_implements_the_trait() {
+        let mut s = gt_core::DistinctSketch::new(&SketchConfig::new(0.1, 0.1).unwrap(), 1);
+        DistinctCounter::extend_labels(&mut s, (0..100).map(gt_hash::fold61));
+        assert_eq!(DistinctCounter::estimate(&s), 100.0);
+        assert!(s.summary_bytes() > 0);
+        assert_eq!(DistinctCounter::name(&s), "gt-sketch");
+    }
+}

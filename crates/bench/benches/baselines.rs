@@ -1,0 +1,74 @@
+//! Update-cost comparison across all distinct counters (context for E6:
+//! the frontier table reports accuracy per byte; this reports time per
+//! item, completing the cost picture).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gt_baselines::{
+    DistinctCounter, ExactDistinct, HyperLogLog, KmvSketch, LinearCounter, LogLogSketch,
+    PcsaSketch, ReservoirSample,
+};
+use gt_core::{DistinctSketch, SketchConfig};
+use std::hint::black_box;
+
+fn bench_counter<C: DistinctCounter>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    make: impl Fn() -> C,
+    data: &[u64],
+) {
+    group.bench_with_input(BenchmarkId::from_parameter(name), data, |b, data| {
+        b.iter(|| {
+            let mut c = make();
+            for &l in data {
+                c.insert(l);
+            }
+            black_box(c.estimate())
+        });
+    });
+}
+
+fn update_cost(c: &mut Criterion) {
+    let data: Vec<u64> = (0..200_000u64)
+        .map(|i| gt_hash::fold61(i % 50_000))
+        .collect();
+    let gt_cfg = SketchConfig::new(0.1, 0.05).unwrap();
+
+    let mut group = c.benchmark_group("baseline_update_cost");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    bench_counter(
+        &mut group,
+        "gt-sketch",
+        || DistinctSketch::new(&gt_cfg, 1),
+        &data,
+    );
+    bench_counter(&mut group, "exact", ExactDistinct::new, &data);
+    bench_counter(&mut group, "fm-pcsa", || PcsaSketch::new(1024, 2), &data);
+    bench_counter(&mut group, "loglog", || LogLogSketch::new(1024, 3), &data);
+    bench_counter(
+        &mut group,
+        "hyperloglog",
+        || HyperLogLog::new(1024, 7),
+        &data,
+    );
+    bench_counter(
+        &mut group,
+        "linear-counting",
+        || LinearCounter::new(1 << 19, 4),
+        &data,
+    );
+    bench_counter(&mut group, "kmv", || KmvSketch::new(1024, 5), &data);
+    bench_counter(
+        &mut group,
+        "reservoir",
+        || ReservoirSample::new(1024, 6),
+        &data,
+    );
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = update_cost
+);
+criterion_main!(benches);

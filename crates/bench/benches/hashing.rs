@@ -1,0 +1,73 @@
+//! Hash-family micro-benchmarks: the per-item cost floor of every sketch.
+//!
+//! Context for E4/E11: pairwise field hashing is the paper's requirement;
+//! multiply–shift is the cheaper-but-weaker alternative; tabulation trades
+//! memory for speed. These numbers say what the soundness guarantee costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gt_hash::{FamilySeed, HashFamilyKind, LevelHasher};
+use std::hint::black_box;
+
+fn eval_throughput(c: &mut Criterion) {
+    let inputs: Vec<u64> = (0..4096u64).map(gt_hash::fold61).collect();
+    let mut group = c.benchmark_group("hash_eval");
+    group.throughput(Throughput::Elements(inputs.len() as u64));
+    let kinds = [
+        ("pairwise61", HashFamilyKind::Pairwise),
+        ("kwise4", HashFamilyKind::KWise(4)),
+        ("multiply_shift", HashFamilyKind::MultiplyShift),
+        ("tabulation", HashFamilyKind::Tabulation),
+    ];
+    for (name, kind) in kinds {
+        let h = kind.build(FamilySeed(42));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &h, |b, h| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &x in &inputs {
+                    acc ^= h.hash_label(x);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn level_throughput(c: &mut Criterion) {
+    let inputs: Vec<u64> = (0..4096u64).map(gt_hash::fold61).collect();
+    let h = HashFamilyKind::Pairwise.build(FamilySeed(42));
+    let mut group = c.benchmark_group("hash_level");
+    group.throughput(Throughput::Elements(inputs.len() as u64));
+    group.bench_function("pairwise61_level", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &x in &inputs {
+                acc += h.level(x) as u32;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn mixer_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_fold");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("fold61", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for x in 0..4096u64 {
+                acc ^= gt_hash::fold61(x);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = eval_throughput, level_throughput, mixer_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! E10 — referee-side cost.
+//!
+//! Claims: merging `t` party sketches costs `O(t · trials · capacity)` —
+//! linear in parties, **independent of stream lengths** — and a wire
+//! decode costs about as much as a merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_core::{merge_all, DistinctSketch, SketchConfig};
+use gt_streams::{decode_sketch, encode_sketch};
+use std::hint::black_box;
+
+fn party_sketches(t: usize, items_each: u64, config: &SketchConfig) -> Vec<DistinctSketch> {
+    (0..t)
+        .map(|p| {
+            let mut s = DistinctSketch::new(config, 99);
+            for i in 0..items_each {
+                s.insert(gt_hash::fold61(i ^ ((p as u64) << 32)));
+            }
+            s
+        })
+        .collect()
+}
+
+/// Merge cost vs number of parties.
+fn merge_vs_parties(c: &mut Criterion) {
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let mut group = c.benchmark_group("e10_merge_vs_parties");
+    for t in [2usize, 8, 32, 128] {
+        let parties = party_sketches(t, 20_000, &config);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &parties, |b, parties| {
+            b.iter(|| black_box(merge_all(parties).unwrap().estimate_distinct().value));
+        });
+    }
+    group.finish();
+}
+
+/// Merge cost must not depend on how long the parties' streams were.
+fn merge_vs_stream_length(c: &mut Criterion) {
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let mut group = c.benchmark_group("e10_merge_vs_stream_length");
+    for items in [10_000u64, 100_000, 1_000_000] {
+        let parties = party_sketches(8, items, &config);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(items),
+            &parties,
+            |b, parties| {
+                b.iter(|| black_box(merge_all(parties).unwrap().sample_entries()));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Decode + merge (the full referee receive path) vs plain merge.
+fn decode_and_merge(c: &mut Criterion) {
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let parties = party_sketches(8, 50_000, &config);
+    let messages: Vec<bytes::Bytes> = parties.iter().map(encode_sketch).collect();
+
+    let mut group = c.benchmark_group("e10_referee_paths");
+    group.bench_function("merge_only", |b| {
+        b.iter(|| black_box(merge_all(&parties).unwrap().sample_entries()));
+    });
+    group.bench_function("decode_then_merge", |b| {
+        b.iter(|| {
+            let decoded: Vec<DistinctSketch> = messages
+                .iter()
+                .map(|m| decode_sketch(m.clone()).unwrap())
+                .collect();
+            black_box(merge_all(&decoded).unwrap().sample_entries())
+        });
+    });
+    group.bench_function("estimate_only", |b| {
+        let union = merge_all(&parties).unwrap();
+        b.iter(|| black_box(union.estimate_distinct().value));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = merge_vs_parties, merge_vs_stream_length, decode_and_merge
+);
+criterion_main!(benches);

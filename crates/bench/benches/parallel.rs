@@ -1,0 +1,69 @@
+//! E14 — parallel ingest: fan-out/merge vs sequential.
+//!
+//! Claim: the parallel build produces bit-identical state (verified in
+//! tests) at `~1/threads` the wall time on a multicore host. On a
+//! single-core host (like CI containers) this bench instead quantifies the
+//! fan-out overhead; EXPERIMENTS.md records which regime the numbers came
+//! from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gt_core::parallel::build_parallel;
+use gt_core::{ShardedSketch, SketchConfig};
+use std::hint::black_box;
+
+fn data(n: u64) -> Vec<u64> {
+    (0..n).map(|i| gt_hash::fold61(i % (n / 2))).collect()
+}
+
+fn batch_build(c: &mut Criterion) {
+    let labels = data(400_000);
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let mut group = c.benchmark_group("e14_batch_build");
+    group.throughput(Throughput::Elements(labels.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    build_parallel(&config, 7, &labels, t)
+                        .unwrap()
+                        .sample_entries(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn sharded_online(c: &mut Criterion) {
+    let labels = data(400_000);
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let mut group = c.benchmark_group("e14_sharded_online");
+    group.throughput(Throughput::Elements(labels.len() as u64));
+    for writers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(writers), &writers, |b, &w| {
+            b.iter(|| {
+                let sharded = ShardedSketch::new(&config, 7, 8);
+                crossbeam::scope(|scope| {
+                    for chunk in labels.chunks(labels.len().div_ceil(w)) {
+                        let sharded = &sharded;
+                        scope.spawn(move |_| {
+                            for &l in chunk {
+                                sharded.insert(l);
+                            }
+                        });
+                    }
+                })
+                .unwrap();
+                black_box(sharded.items_observed())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = batch_build, sharded_online
+);
+criterion_main!(benches);

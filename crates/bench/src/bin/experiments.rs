@@ -1,0 +1,81 @@
+//! Experiment runner: regenerates the tables in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p gt-bench --release --bin experiments -- all          # every experiment
+//! cargo run -p gt-bench --release --bin experiments -- e1 e5       # a subset
+//! cargo run -p gt-bench --release --bin experiments -- --quick all # smaller sweeps
+//! cargo run -p gt-bench --release --bin experiments -- --list
+//! ```
+//!
+//! Tables print to stdout and are mirrored as CSV under `results/`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gt_bench::experiments::{find, REGISTRY};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let list = args.iter().any(|a| a == "--list" || a == "-l");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+
+    if list || ids.is_empty() {
+        print_usage();
+        return;
+    }
+
+    let selected: Vec<&'static gt_bench::experiments::Experiment> =
+        if ids.iter().any(|s| s.as_str() == "all") {
+            REGISTRY.iter().collect()
+        } else {
+            let mut out = Vec::new();
+            for id in &ids {
+                match find(id) {
+                    Some(e) => out.push(e),
+                    None => {
+                        eprintln!("unknown experiment '{id}' — use --list to see available ids");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            out
+        };
+    if selected.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    let results_dir = PathBuf::from("results");
+    println!(
+        "running {} experiment(s){}...\n",
+        selected.len(),
+        if quick { " in --quick mode" } else { "" }
+    );
+    for exp in selected {
+        let t0 = Instant::now();
+        let tables = (exp.run)(quick);
+        for table in &tables {
+            println!("{}", table.render());
+            match table.write_csv(&results_dir) {
+                Ok(path) => println!("  csv: {}\n", path.display()),
+                Err(e) => eprintln!("  csv write failed: {e}\n"),
+            }
+        }
+        println!("[{} finished in {:.1?}]\n", exp.id, t0.elapsed());
+    }
+}
+
+fn print_usage() {
+    println!("usage: experiments [--quick] <ids...|all>\n");
+    println!("available experiments:");
+    for e in REGISTRY {
+        println!("  {:>4}  {}", e.id, e.description);
+    }
+    println!("\ntime-domain experiments are Criterion benches:");
+    println!("  e4    cargo bench -p gt-bench --bench ingest     (per-item cost, throughput)");
+    println!("  e10   cargo bench -p gt-bench --bench merge      (referee cost vs parties)");
+    println!("  e14   cargo bench -p gt-bench --bench parallel   (fan-out/merge ingest)");
+    println!("        cargo bench -p gt-bench --bench hashing    (hash family micro-costs)");
+    println!("        cargo bench -p gt-bench --bench baselines  (update cost vs baselines)");
+}

@@ -1,0 +1,63 @@
+//! Shared helpers for the experiment modules.
+
+use gt_core::{DistinctSketch, SketchConfig};
+
+/// Deterministic distinct labels `0..n`, folded into the sketch universe,
+/// salted so different experiments use disjoint universes.
+pub fn labels(n: u64, salt: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| gt_hash::fold61(i ^ gt_hash::mix64(salt.wrapping_mul(0x9E37_79B9))))
+        .collect()
+}
+
+/// Build a sketch over a label slice with a given master seed.
+pub fn sketch_over(config: &SketchConfig, seed: u64, labels: &[u64]) -> DistinctSketch {
+    let mut s = DistinctSketch::new(config, seed);
+    s.extend_labels(labels.iter().copied());
+    s
+}
+
+/// Relative errors of the distinct estimate over `seeds` master seeds.
+pub fn error_samples(
+    config: &SketchConfig,
+    labels: &[u64],
+    seeds: u64,
+    seed_base: u64,
+) -> Vec<f64> {
+    let truth = {
+        let mut set = std::collections::HashSet::with_capacity(labels.len());
+        set.extend(labels.iter().copied());
+        set.len() as f64
+    };
+    (0..seeds)
+        .map(|s| {
+            let est = sketch_over(config, seed_base + s, labels)
+                .estimate_distinct()
+                .value;
+            gt_core::relative_error(est, truth)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_and_salted() {
+        let a = labels(1_000, 1);
+        let b = labels(1_000, 2);
+        let sa: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(sa.len(), 1_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn error_samples_are_small_for_generous_config() {
+        let cfg = SketchConfig::new(0.1, 0.05).unwrap();
+        let l = labels(20_000, 3);
+        let errs = error_samples(&cfg, &l, 5, 0);
+        assert_eq!(errs.len(), 5);
+        assert!(errs.iter().all(|&e| e < 0.15), "{errs:?}");
+    }
+}

@@ -1,0 +1,128 @@
+//! One module per experiment in EXPERIMENTS.md, plus a registry so the
+//! binary can dispatch by id.
+
+pub mod common;
+pub mod e01_accuracy_vs_epsilon;
+pub mod e02_median_boosting;
+pub mod e03_space;
+pub mod e05_union_overlap;
+pub mod e06_frontier;
+pub mod e07_sumdistinct;
+pub mod e08_skew;
+pub mod e09_communication;
+pub mod e11_ablation;
+pub mod e12_similarity;
+pub mod e13_predicate;
+pub mod e15_heterogeneous;
+pub mod e16_window;
+
+use crate::table::Table;
+
+/// An experiment the binary can run.
+pub struct Experiment {
+    /// Short id, e.g. "e1".
+    pub id: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Produce the tables. `quick` shrinks sweeps/seeds for CI-speed runs.
+    pub run: fn(quick: bool) -> Vec<Table>,
+}
+
+/// All table-producing experiments. (E4, E10 and E14 are time-domain and
+/// live in `benches/` as Criterion benchmarks; see EXPERIMENTS.md.)
+pub const REGISTRY: &[Experiment] = &[
+    Experiment {
+        id: "e1",
+        description:
+            "accuracy vs epsilon: observed error quantiles against the (eps, delta) contract",
+        run: e01_accuracy_vs_epsilon::run,
+    },
+    Experiment {
+        id: "e2",
+        description: "median boosting: failure probability decay with trial count",
+        run: e02_median_boosting::run,
+    },
+    Experiment {
+        id: "e3",
+        description: "space usage vs the O(eps^-2 log(1/delta) log n) bound and vs exact sets",
+        run: e03_space::run,
+    },
+    Experiment {
+        id: "e5",
+        description:
+            "HEADLINE: union estimation vs parties and overlap; naive baselines for contrast",
+        run: e05_union_overlap::run,
+    },
+    Experiment {
+        id: "e6",
+        description:
+            "equal-space accuracy frontier vs PCSA, LogLog, linear counting, KMV, reservoir",
+        run: e06_frontier::run,
+    },
+    Experiment {
+        id: "e7",
+        description: "SumDistinct: duplicate insensitivity vs a plain sum under duplication sweeps",
+        run: e07_sumdistinct::run,
+    },
+    Experiment {
+        id: "e8",
+        description: "distribution robustness: error vs zipf skew",
+        run: e08_skew::run,
+    },
+    Experiment {
+        id: "e9",
+        description: "communication: bytes per party vs t, eps, and stream length",
+        run: e09_communication::run,
+    },
+    Experiment {
+        id: "e11",
+        description: "ablations: hash family soundness and the capacity constant",
+        run: e11_ablation::run,
+    },
+    Experiment {
+        id: "e12",
+        description: "similarity: intersection and Jaccard accuracy vs overlap",
+        run: e12_similarity::run,
+    },
+    Experiment {
+        id: "e13",
+        description: "predicate-restricted counts: additive error across selectivities",
+        run: e13_predicate::run,
+    },
+    Experiment {
+        id: "e15",
+        description: "EXTENSION: heterogeneous-fleet unions via shrink/harmonize",
+        run: e15_heterogeneous::run,
+    },
+    Experiment {
+        id: "e16",
+        description: "EXTENSION: sliding-window vs landmark recency queries",
+        run: e16_window::run,
+    },
+];
+
+/// Find an experiment by id (case-insensitive).
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    let id = id.to_lowercase();
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lookup() {
+        assert!(find("e1").is_some());
+        assert!(find("E5").is_some());
+        assert!(find("e99").is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<_> = REGISTRY.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), REGISTRY.len());
+    }
+}

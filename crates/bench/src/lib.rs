@@ -1,0 +1,89 @@
+//! # gt-bench — experiment harness
+//!
+//! Regenerates every experiment in EXPERIMENTS.md. Each `experiments::eNN`
+//! module produces one or more [`table::Table`]s; the `experiments` binary
+//! dispatches on experiment id and prints them (and writes CSVs under
+//! `results/`).
+//!
+//! Criterion benches (time-domain experiments E4/E10/E14 and the hashing
+//! micro-benchmarks) live under `benches/`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+/// Statistical summary of a sample of relative errors.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ErrorSummary {
+    /// Mean of the sample.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Fraction of the sample exceeding a caller-supplied threshold.
+    pub frac_over: f64,
+}
+
+impl ErrorSummary {
+    /// Summarize `values`, reporting the fraction exceeding `threshold`.
+    pub fn of(values: Vec<f64>, threshold: f64) -> Self {
+        assert!(!values.is_empty());
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let over = values.iter().filter(|&&v| v > threshold).count() as f64 / n;
+        let p50 = gt_core::quantile_f64(&mut values.clone(), 0.5);
+        let p95 = gt_core::quantile_f64(&mut values.clone(), 0.95);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        ErrorSummary {
+            mean,
+            p50,
+            p95,
+            max,
+            frac_over: over,
+        }
+    }
+}
+
+/// Format a fraction as a percent string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Format a byte count human-readably.
+pub fn bytes_h(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_summary_quantiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let s = ErrorSummary::of(v, 0.9);
+        assert!((s.mean - 0.505).abs() < 1e-9);
+        assert_eq!(s.p50, 0.5);
+        assert_eq!(s.p95, 0.95);
+        assert_eq!(s.max, 1.0);
+        assert!((s.frac_over - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(bytes_h(512), "512 B");
+        assert_eq!(bytes_h(2048), "2.0 KiB");
+        assert_eq!(bytes_h(3 << 20), "3.0 MiB");
+    }
+}

@@ -1,0 +1,183 @@
+//! Median-boosting machinery and the estimate type returned by sketches.
+//!
+//! Each trial's estimate is within `±ε` of the truth with some constant
+//! probability `> 1/2` (Chebyshev, from the capacity choice). Taking the
+//! **median** of `r` independent trials turns that constant into `1 − δ`:
+//! the median can only miss if at least half the trials miss, which a
+//! Chernoff bound drives to `exp(−Θ(r))`. Experiment E2 measures this decay
+//! directly.
+
+/// Median of a slice, destructively (uses `select_nth_unstable_by`).
+/// For an even count, returns the mean of the two middle elements.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn median_f64(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let n = values.len();
+    let mid = n / 2;
+    let (_, &mut upper_mid, _) =
+        values.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("no NaN estimates"));
+    if n % 2 == 1 {
+        upper_mid
+    } else {
+        // select_nth placed the (mid)th order statistic; the lower middle is
+        // the max of the left partition.
+        let lower_mid = values[..mid]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        (lower_mid + upper_mid) / 2.0
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a slice, destructively, by the
+/// nearest-rank method. Used by the experiment harness to report error
+/// quantiles across seed repetitions.
+pub fn quantile_f64(values: &mut [f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let n = values.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+    let (_, &mut v, _) =
+        values.select_nth_unstable_by(rank, |a, b| a.partial_cmp(b).expect("no NaN values"));
+    v
+}
+
+/// Relative error of an estimate against ground truth (0 if both are 0).
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth
+    }
+}
+
+/// An estimate together with the `(ε, δ)` contract it was produced under.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// The point estimate.
+    pub value: f64,
+    /// The configured relative-error bound ε.
+    pub epsilon: f64,
+    /// The configured failure probability δ.
+    pub delta: f64,
+}
+
+impl Estimate {
+    /// Lower end of the `(1 − δ)`-confidence interval `value / (1 + ε)`.
+    pub fn lower_bound(&self) -> f64 {
+        self.value / (1.0 + self.epsilon)
+    }
+
+    /// Upper end of the `(1 − δ)`-confidence interval `value / (1 − ε)`.
+    pub fn upper_bound(&self) -> f64 {
+        self.value / (1.0 - self.epsilon)
+    }
+
+    /// The estimate rounded to the nearest count.
+    pub fn rounded(&self) -> u64 {
+        self.value.round().max(0.0) as u64
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1} (±{:.0}% with {:.0}% confidence)",
+            self.value,
+            self.epsilon * 100.0,
+            (1.0 - self.delta) * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd() {
+        let mut v = [5.0, 1.0, 3.0];
+        assert_eq!(median_f64(&mut v), 3.0);
+    }
+
+    #[test]
+    fn median_even_averages_middles() {
+        let mut v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median_f64(&mut v), 2.5);
+    }
+
+    #[test]
+    fn median_single() {
+        assert_eq!(median_f64(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn median_with_duplicates() {
+        let mut v = [2.0, 2.0, 2.0, 9.0, 1.0];
+        assert_eq!(median_f64(&mut v), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty slice")]
+    fn median_empty_panics() {
+        median_f64(&mut []);
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        let mut v = [10.0, 11.0, 9.0, 1e18, 0.0];
+        assert_eq!(median_f64(&mut v), 10.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile_f64(&mut v.clone(), 0.5), 50.0);
+        assert_eq!(quantile_f64(&mut v.clone(), 0.95), 95.0);
+        assert_eq!(quantile_f64(&mut v.clone(), 0.0), 1.0);
+        assert_eq!(quantile_f64(&mut v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(relative_error(110.0, 100.0), 0.1);
+        assert_eq!(relative_error(90.0, 100.0), 0.1);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(5.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn estimate_bounds_bracket_truth() {
+        // If |est − truth| ≤ ε·truth then truth ∈ [est/(1+ε), est/(1−ε)].
+        let truth = 1000.0;
+        let eps = 0.1;
+        for est in [truth * (1.0 - eps), truth, truth * (1.0 + eps)] {
+            let e = Estimate {
+                value: est,
+                epsilon: eps,
+                delta: 0.05,
+            };
+            assert!(e.lower_bound() <= truth + 1e-9, "est {est}");
+            assert!(e.upper_bound() >= truth - 1e-9, "est {est}");
+        }
+    }
+
+    #[test]
+    fn estimate_display_and_rounding() {
+        let e = Estimate {
+            value: 1234.4,
+            epsilon: 0.05,
+            delta: 0.01,
+        };
+        assert_eq!(e.rounded(), 1234);
+        let s = e.to_string();
+        assert!(s.contains("5%") && s.contains("99%"), "{s}");
+    }
+}

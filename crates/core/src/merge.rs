@@ -1,0 +1,101 @@
+//! The mergeable-summary abstraction and n-way union helpers.
+//!
+//! Mergeability is the property the paper's model runs on: each party ships
+//! its summary to a referee, and the referee combines `t` summaries into one
+//! that is *exactly* what a single observer of the concatenated streams
+//! would hold. Everything in this workspace that has that property — the
+//! GT sketches here, and the mergeable baselines (PCSA, LogLog, KMV, linear
+//! counting) — implements [`Mergeable`], so referees, runners and
+//! experiments can be written once.
+
+use crate::error::Result;
+
+/// A summary that supports lossless union with peers built from the same
+/// configuration/seed material.
+pub trait Mergeable: Sized {
+    /// Fold `other` into `self`. Must be commutative and idempotent up to
+    /// estimator-relevant state, and must fail (rather than silently
+    /// corrupt) on uncoordinated inputs.
+    fn merge_from(&mut self, other: &Self) -> Result<()>;
+}
+
+/// Union a non-empty slice of summaries into one, by left fold.
+///
+/// The referee-side cost is `O(t · c)` for `t` parties with summaries of
+/// size `c` — independent of any stream's length, which is experiment
+/// E10's claim.
+pub fn merge_all<T: Mergeable + Clone>(summaries: &[T]) -> Result<T> {
+    assert!(
+        !summaries.is_empty(),
+        "merge_all needs at least one summary"
+    );
+    let mut acc = summaries[0].clone();
+    for s in &summaries[1..] {
+        acc.merge_from(s)?;
+    }
+    Ok(acc)
+}
+
+impl<V: crate::trial::Payload> Mergeable for crate::sketch::GtSketch<V> {
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        GtSketch::merge_from(self, other)
+    }
+}
+
+use crate::sketch::GtSketch;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SketchConfig;
+    use crate::sketch::DistinctSketch;
+
+    fn labels(range: std::ops::Range<u64>) -> impl Iterator<Item = u64> {
+        range.map(gt_hash::fold61)
+    }
+
+    #[test]
+    fn merge_all_many_parties_equals_one_observer() {
+        let config = SketchConfig::new(0.1, 0.1).unwrap();
+        let t = 8;
+        let per_party = 4_000u64;
+        let mut parties = Vec::new();
+        let mut whole = DistinctSketch::new(&config, 42);
+        for p in 0..t {
+            let mut s = DistinctSketch::new(&config, 42);
+            let range = (p * per_party)..((p + 2) * per_party).min(t * per_party); // overlapping
+            s.extend_labels(labels(range.clone()));
+            whole.extend_labels(labels(range));
+            parties.push(s);
+        }
+        let union = merge_all(&parties).unwrap();
+        assert_eq!(
+            union.estimate_distinct().value,
+            whole.estimate_distinct().value
+        );
+        assert_eq!(union.sample_entries(), whole.sample_entries());
+    }
+
+    #[test]
+    fn merge_all_single_summary_is_identity() {
+        let config = SketchConfig::new(0.2, 0.2).unwrap();
+        let mut s = DistinctSketch::new(&config, 7);
+        s.extend_labels(labels(0..500));
+        let out = merge_all(std::slice::from_ref(&s)).unwrap();
+        assert_eq!(out.estimate_distinct().value, s.estimate_distinct().value);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one summary")]
+    fn merge_all_empty_panics() {
+        let _ = merge_all::<DistinctSketch>(&[]);
+    }
+
+    #[test]
+    fn merge_all_propagates_coordination_errors() {
+        let config = SketchConfig::new(0.2, 0.2).unwrap();
+        let a = DistinctSketch::new(&config, 1);
+        let b = DistinctSketch::new(&config, 2);
+        assert!(merge_all(&[a, b]).is_err());
+    }
+}

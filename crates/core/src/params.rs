@@ -1,0 +1,271 @@
+//! Sketch configuration: turning `(ε, δ)` into concrete capacities and
+//! trial counts.
+//!
+//! The paper's analysis gives an `(ε, δ)`-approximation from
+//!
+//! * per-trial sample capacity `c = Θ(1/ε²)` — each trial then estimates
+//!   within `±ε` with constant probability (Chebyshev on the pairwise-
+//!   independent level indicators), and
+//! * `r = Θ(log 1/δ)` independent trials combined by the **median** —
+//!   a Chernoff argument drives the failure probability below `δ`.
+//!
+//! The asymptotic constants are not pinned down by the abstract; the
+//! concrete defaults here (`CAPACITY_CONSTANT = 12`, `TRIALS_CONSTANT = 6`)
+//! were calibrated by experiment E1/E2 (see EXPERIMENTS.md) so that measured
+//! error quantiles sit comfortably inside the `(ε, δ)` contract, and E11
+//! ablates the capacity constant explicitly.
+
+use gt_hash::{HashFamilyKind, SeedSequence};
+
+use crate::error::{Result, SketchError};
+
+/// Default `k` in `c = ⌈k/ε²⌉`.
+pub const CAPACITY_CONSTANT: f64 = 12.0;
+
+/// Default multiplier in `r = ⌈TRIALS_CONSTANT · ln(1/δ)⌉`.
+pub const TRIALS_CONSTANT: f64 = 6.0;
+
+/// Hard ceiling on per-trial capacity, to catch `ε` values that would
+/// silently allocate gigabytes (ε = 0.001 → c = 12 million entries/trial).
+pub const MAX_CAPACITY: usize = 1 << 28;
+
+/// Hard ceiling on trials.
+pub const MAX_TRIALS: usize = 1 << 12;
+
+/// Complete shape of a coordinated-sampling sketch.
+///
+/// Two sketches can be merged iff they share the same `SketchConfig` *and*
+/// the same seed material; the config is therefore part of the coordination
+/// contract distributed to all parties up front.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SketchConfig {
+    /// Target relative error.
+    epsilon: f64,
+    /// Target failure probability.
+    delta: f64,
+    /// Per-trial sample capacity `c`.
+    capacity: usize,
+    /// Number of independent trials `r`.
+    trials: usize,
+    /// Hash family used for every trial.
+    hash_kind: HashFamilyKind,
+}
+
+impl SketchConfig {
+    /// Build a configuration for an `(ε, δ)` guarantee with the default
+    /// constants and the paper's pairwise-independent hash family.
+    ///
+    /// # Errors
+    /// Rejects `ε ∉ (0, 1)`, `δ ∉ (0, 1)`, and shapes exceeding
+    /// [`MAX_CAPACITY`] / [`MAX_TRIALS`].
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self> {
+        Self::with_constants(epsilon, delta, CAPACITY_CONSTANT, TRIALS_CONSTANT)
+    }
+
+    /// Like [`SketchConfig::new`] but with explicit constants — the knob the
+    /// E11 capacity ablation turns.
+    pub fn with_constants(
+        epsilon: f64,
+        delta: f64,
+        k_capacity: f64,
+        k_trials: f64,
+    ) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SketchError::InvalidConfig {
+                parameter: "epsilon",
+                reason: format!("must be in (0, 1), got {epsilon}"),
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SketchError::InvalidConfig {
+                parameter: "delta",
+                reason: format!("must be in (0, 1), got {delta}"),
+            });
+        }
+        // NaN must be rejected too, hence the negated comparisons.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(k_capacity > 0.0) || !(k_trials > 0.0) {
+            return Err(SketchError::InvalidConfig {
+                parameter: "constants",
+                reason: "capacity and trial constants must be positive".into(),
+            });
+        }
+        let capacity = (k_capacity / (epsilon * epsilon)).ceil() as usize;
+        let capacity = capacity.max(2);
+        // Median needs an odd count to be a sample value; round up to odd.
+        let trials = (k_trials * (1.0 / delta).ln()).ceil().max(1.0) as usize;
+        let trials = if trials % 2 == 0 { trials + 1 } else { trials };
+        Self::from_shape(epsilon, delta, capacity, trials, HashFamilyKind::Pairwise)
+    }
+
+    /// Fully explicit constructor (shape chosen by the caller, e.g. for
+    /// equal-space comparisons against baselines in E6).
+    pub fn from_shape(
+        epsilon: f64,
+        delta: f64,
+        capacity: usize,
+        trials: usize,
+        hash_kind: HashFamilyKind,
+    ) -> Result<Self> {
+        // This constructor sits on the wire-decode path, so it must reject
+        // everything `new` would (including NaN, which fails both range
+        // comparisons below).
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SketchError::InvalidConfig {
+                parameter: "epsilon",
+                reason: format!("must be in (0, 1), got {epsilon}"),
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SketchError::InvalidConfig {
+                parameter: "delta",
+                reason: format!("must be in (0, 1), got {delta}"),
+            });
+        }
+        if !(2..=MAX_CAPACITY).contains(&capacity) {
+            return Err(SketchError::InvalidConfig {
+                parameter: "capacity",
+                reason: format!("must be in [2, {MAX_CAPACITY}], got {capacity}"),
+            });
+        }
+        if !(1..=MAX_TRIALS).contains(&trials) {
+            return Err(SketchError::InvalidConfig {
+                parameter: "trials",
+                reason: format!("must be in [1, {MAX_TRIALS}], got {trials}"),
+            });
+        }
+        Ok(SketchConfig {
+            epsilon,
+            delta,
+            capacity,
+            trials,
+            hash_kind,
+        })
+    }
+
+    /// Replace the hash family (ablation experiments).
+    pub fn with_hash_kind(mut self, kind: HashFamilyKind) -> Self {
+        self.hash_kind = kind;
+        self
+    }
+
+    /// Target relative error ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Target failure probability δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Per-trial sample capacity `c`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of independent trials `r`.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The configured hash family.
+    pub fn hash_kind(&self) -> HashFamilyKind {
+        self.hash_kind
+    }
+
+    /// Derive the per-trial seed material from a master seed. All parties
+    /// participating in one union must use the same master seed.
+    pub fn seed_sequence(&self, master_seed: u64) -> SeedSequence {
+        SeedSequence::new(master_seed)
+    }
+
+    /// Upper bound on resident sample entries (`trials · capacity`) — the
+    /// quantity the paper's space bound `O(ε⁻² log(1/δ) log n)` counts, in
+    /// words.
+    pub fn max_sample_entries(&self) -> usize {
+        self.trials * self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape_matches_formulas() {
+        let cfg = SketchConfig::new(0.1, 0.05).unwrap();
+        assert_eq!(cfg.capacity(), (12.0 / 0.01f64).ceil() as usize);
+        let r = (6.0 * (1.0 / 0.05f64).ln()).ceil() as usize;
+        let r = if r % 2 == 0 { r + 1 } else { r };
+        assert_eq!(cfg.trials(), r);
+        assert_eq!(cfg.hash_kind(), gt_hash::HashFamilyKind::Pairwise);
+    }
+
+    #[test]
+    fn trials_is_always_odd() {
+        for delta in [0.5, 0.1, 0.05, 0.01, 0.001] {
+            let cfg = SketchConfig::new(0.1, delta).unwrap();
+            assert_eq!(cfg.trials() % 2, 1, "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn capacity_scales_inverse_quadratically() {
+        let a = SketchConfig::new(0.1, 0.1).unwrap();
+        let b = SketchConfig::new(0.05, 0.1).unwrap();
+        assert_eq!(b.capacity(), a.capacity() * 4);
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(SketchConfig::new(0.0, 0.1).is_err());
+        assert!(SketchConfig::new(1.0, 0.1).is_err());
+        assert!(SketchConfig::new(-0.5, 0.1).is_err());
+        assert!(SketchConfig::new(f64::NAN, 0.1).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_delta() {
+        assert!(SketchConfig::new(0.1, 0.0).is_err());
+        assert!(SketchConfig::new(0.1, 1.0).is_err());
+        assert!(SketchConfig::new(0.1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_capacity() {
+        // ε small enough to blow the cap.
+        let err = SketchConfig::new(1e-5, 0.1).unwrap_err();
+        match err {
+            SketchError::InvalidConfig { parameter, .. } => assert_eq!(parameter, "capacity"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_shape_roundtrips() {
+        let cfg =
+            SketchConfig::from_shape(0.1, 0.1, 64, 5, gt_hash::HashFamilyKind::Tabulation).unwrap();
+        assert_eq!(cfg.capacity(), 64);
+        assert_eq!(cfg.trials(), 5);
+        assert_eq!(cfg.max_sample_entries(), 320);
+    }
+
+    #[test]
+    fn seed_sequence_is_master_determined() {
+        let cfg = SketchConfig::new(0.1, 0.1).unwrap();
+        assert_eq!(
+            cfg.seed_sequence(9).trial_seed(3),
+            cfg.seed_sequence(9).trial_seed(3)
+        );
+    }
+
+    #[test]
+    fn with_hash_kind_preserves_shape() {
+        let cfg = SketchConfig::new(0.07, 0.02).unwrap();
+        let swapped = cfg.with_hash_kind(gt_hash::HashFamilyKind::MultiplyShift);
+        assert_eq!(swapped.capacity(), cfg.capacity());
+        assert_eq!(swapped.trials(), cfg.trials());
+        assert_eq!(swapped.hash_kind(), gt_hash::HashFamilyKind::MultiplyShift);
+    }
+}

@@ -1,0 +1,288 @@
+//! Two-sketch estimators: intersection size, set difference, and Jaccard
+//! similarity between the distinct-label sets of two streams.
+//!
+//! This is where *coordinated* sampling pays off over independent
+//! sampling: because both sketches assign every label the same level,
+//! aligning two trials to a common level `l* = max(l_a, l_b)` yields two
+//! Bernoulli samples drawn with the **same** coin flips. Sampled-set
+//! intersections therefore estimate true intersections
+//! (`|S_a ∩ S_b| · 2^{l*}` is unbiased for `|A ∩ B|`), which is impossible
+//! with independently sampled streams (the overlap of two independent
+//! samples of rate `q` has expectation `q²|A∩B|` — quadratically fewer
+//! witnesses). The same alignment gives `A \ B` and Jaccard estimates.
+//! KMV/Theta sketches inherit exactly this trick; experiment E12 measures
+//! the accuracy.
+
+use crate::error::{Result, SketchError};
+use crate::estimate::median_f64;
+use crate::sketch::GtSketch;
+use crate::trial::Payload;
+
+/// Point estimates of the set relationships between two streams' distinct
+/// label sets, with the per-trial detail used to produce them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimilarityEstimate {
+    /// Estimated `|A ∩ B|`.
+    pub intersection: f64,
+    /// Estimated `|A ∪ B|`.
+    pub union: f64,
+    /// Estimated `|A \ B|`.
+    pub difference_a_minus_b: f64,
+    /// Estimated `|B \ A|`.
+    pub difference_b_minus_a: f64,
+    /// Estimated Jaccard similarity `|A ∩ B| / |A ∪ B|` (ratio estimator,
+    /// computed per trial then median'd — not the ratio of the medians).
+    pub jaccard: f64,
+}
+
+/// Estimate set relationships between the distinct-label sets of two
+/// coordinated sketches.
+///
+/// ```
+/// use gt_core::{similarity, DistinctSketch, SketchConfig};
+/// let cfg = SketchConfig::new(0.1, 0.1).unwrap();
+/// let mut a = DistinctSketch::new(&cfg, 7);
+/// let mut b = DistinctSketch::new(&cfg, 7); // same seed = coordinated
+/// a.extend_labels(0..600);
+/// b.extend_labels(300..900);
+/// let sim = similarity(&a, &b).unwrap();
+/// assert_eq!(sim.intersection, 300.0); // exact below capacity
+/// assert!((sim.jaccard - 1.0 / 3.0).abs() < 1e-9);
+/// ```
+///
+/// # Errors
+/// [`SketchError::SeedMismatch`] / [`SketchError::ConfigMismatch`] when the
+/// sketches are not coordinated (different seeds or shapes).
+pub fn similarity<V: Payload>(a: &GtSketch<V>, b: &GtSketch<V>) -> Result<SimilarityEstimate> {
+    if a.master_seed() != b.master_seed() {
+        return Err(SketchError::SeedMismatch);
+    }
+    if a.config() != b.config() {
+        return Err(SketchError::ConfigMismatch {
+            detail: format!("{:?} vs {:?}", a.config(), b.config()),
+        });
+    }
+    let trials = a.trials().len();
+    let mut inter = Vec::with_capacity(trials);
+    let mut union = Vec::with_capacity(trials);
+    let mut diff_ab = Vec::with_capacity(trials);
+    let mut diff_ba = Vec::with_capacity(trials);
+    let mut jaccard = Vec::with_capacity(trials);
+
+    for (ta, tb) in a.trials().iter().zip(b.trials().iter()) {
+        // Align both trials to the common level, cloning only a trial
+        // that actually needs subsampling (equal levels are the common
+        // case and cost nothing).
+        let l = ta.level().max(tb.level());
+        fn align<V: Payload>(
+            t: &crate::trial::CoordinatedTrial<V>,
+            l: u8,
+        ) -> std::borrow::Cow<'_, crate::trial::CoordinatedTrial<V>> {
+            if t.level() < l {
+                let mut owned = t.clone();
+                owned.subsample_to_level(l);
+                std::borrow::Cow::Owned(owned)
+            } else {
+                std::borrow::Cow::Borrowed(t)
+            }
+        }
+        let ta = align(ta, l);
+        let tb = align(tb, l);
+        let scale = 2f64.powi(l as i32);
+
+        let mut n_inter = 0usize;
+        for (label, _) in ta.sample_iter() {
+            if tb.contains_label(label) {
+                n_inter += 1;
+            }
+        }
+        let n_a = ta.sample_len();
+        let n_b = tb.sample_len();
+        let n_union = n_a + n_b - n_inter;
+
+        inter.push(n_inter as f64 * scale);
+        union.push(n_union as f64 * scale);
+        diff_ab.push((n_a - n_inter) as f64 * scale);
+        diff_ba.push((n_b - n_inter) as f64 * scale);
+        if n_union > 0 {
+            jaccard.push(n_inter as f64 / n_union as f64);
+        }
+    }
+
+    Ok(SimilarityEstimate {
+        intersection: median_f64(&mut inter),
+        union: median_f64(&mut union),
+        difference_a_minus_b: median_f64(&mut diff_ab),
+        difference_b_minus_a: median_f64(&mut diff_ba),
+        jaccard: if jaccard.is_empty() {
+            0.0
+        } else {
+            median_f64(&mut jaccard)
+        },
+    })
+}
+
+/// Pairwise Jaccard similarities among `k` coordinated sketches, as a
+/// `k × k` symmetric matrix (diagonal 1.0 for non-empty sketches).
+///
+/// Useful for clustering streams by content (which monitors see the same
+/// traffic?). Cost: `O(k² · trials · capacity)` at the referee.
+///
+/// # Errors
+/// Fails on the first uncoordinated pair encountered.
+pub fn jaccard_matrix<V: Payload>(sketches: &[&GtSketch<V>]) -> Result<Vec<Vec<f64>>> {
+    let k = sketches.len();
+    let mut matrix = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        matrix[i][i] = if sketches[i].sample_entries() > 0 {
+            1.0
+        } else {
+            0.0
+        };
+        for j in (i + 1)..k {
+            let sim = similarity(sketches[i], sketches[j])?;
+            matrix[i][j] = sim.jaccard;
+            matrix[j][i] = sim.jaccard;
+        }
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SketchConfig;
+    use crate::sketch::DistinctSketch;
+
+    fn cfg() -> SketchConfig {
+        SketchConfig::new(0.1, 0.1).unwrap()
+    }
+
+    fn sketch_of(range: std::ops::Range<u64>, seed: u64) -> DistinctSketch {
+        let mut s = DistinctSketch::new(&cfg(), seed);
+        s.extend_labels(range.map(gt_hash::fold61));
+        s
+    }
+
+    #[test]
+    fn disjoint_sets_have_zero_intersection() {
+        let a = sketch_of(0..200, 1);
+        let b = sketch_of(200..400, 1);
+        let sim = similarity(&a, &b).unwrap();
+        assert_eq!(sim.intersection, 0.0);
+        assert_eq!(sim.jaccard, 0.0);
+        assert_eq!(sim.union, 400.0);
+        assert_eq!(sim.difference_a_minus_b, 200.0);
+        assert_eq!(sim.difference_b_minus_a, 200.0);
+    }
+
+    #[test]
+    fn identical_sets_have_jaccard_one() {
+        let a = sketch_of(0..500, 2);
+        let b = sketch_of(0..500, 2);
+        let sim = similarity(&a, &b).unwrap();
+        assert_eq!(sim.jaccard, 1.0);
+        assert_eq!(sim.intersection, 500.0);
+        assert_eq!(sim.union, 500.0);
+        assert_eq!(sim.difference_a_minus_b, 0.0);
+    }
+
+    #[test]
+    fn half_overlap_at_scale() {
+        // A = [0, 60k), B = [30k, 90k): |A∩B| = 30k, |A∪B| = 90k, J = 1/3.
+        let a = sketch_of(0..60_000, 3);
+        let b = sketch_of(30_000..90_000, 3);
+        let sim = similarity(&a, &b).unwrap();
+        let rel = |est: f64, truth: f64| (est - truth).abs() / truth;
+        assert!(
+            rel(sim.intersection, 30_000.0) < 0.25,
+            "∩ {}",
+            sim.intersection
+        );
+        assert!(rel(sim.union, 90_000.0) < 0.15, "∪ {}", sim.union);
+        assert!((sim.jaccard - 1.0 / 3.0).abs() < 0.1, "J {}", sim.jaccard);
+        assert!(
+            rel(sim.difference_a_minus_b, 30_000.0) < 0.35,
+            "A∖B {}",
+            sim.difference_a_minus_b
+        );
+    }
+
+    #[test]
+    fn union_estimate_agrees_with_merge_estimate() {
+        let a = sketch_of(0..40_000, 4);
+        let b = sketch_of(20_000..70_000, 4);
+        let sim = similarity(&a, &b).unwrap();
+        let merged = a.merged(&b).unwrap().estimate_distinct().value;
+        let rel = (sim.union - merged).abs() / merged;
+        assert!(
+            rel < 0.1,
+            "similarity union {} vs merge {merged}",
+            sim.union
+        );
+    }
+
+    #[test]
+    fn uncoordinated_sketches_are_rejected() {
+        let a = sketch_of(0..100, 1);
+        let b = sketch_of(0..100, 2);
+        assert_eq!(similarity(&a, &b).unwrap_err(), SketchError::SeedMismatch);
+        let c = {
+            let mut s = DistinctSketch::new(&SketchConfig::new(0.2, 0.1).unwrap(), 1);
+            s.extend_labels(0..10);
+            s
+        };
+        assert!(matches!(
+            similarity(&a, &c).unwrap_err(),
+            SketchError::ConfigMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_vs_empty() {
+        let a = DistinctSketch::new(&cfg(), 9);
+        let b = DistinctSketch::new(&cfg(), 9);
+        let sim = similarity(&a, &b).unwrap();
+        assert_eq!(sim.intersection, 0.0);
+        assert_eq!(sim.union, 0.0);
+        assert_eq!(sim.jaccard, 0.0);
+    }
+
+    #[test]
+    fn jaccard_matrix_is_symmetric_with_unit_diagonal() {
+        let a = sketch_of(0..1_000, 7);
+        let b = sketch_of(500..1_500, 7);
+        let c = sketch_of(5_000..6_000, 7);
+        let m = jaccard_matrix(&[&a, &b, &c]).unwrap();
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, m[j][i]);
+            }
+        }
+        assert!((m[0][1] - 1.0 / 3.0).abs() < 0.05, "J(a,b) {}", m[0][1]);
+        assert_eq!(m[0][2], 0.0);
+        assert_eq!(m[1][2], 0.0);
+        // Empty sketch gets a 0 diagonal.
+        let empty = DistinctSketch::new(&cfg(), 7);
+        let m = jaccard_matrix(&[&empty]).unwrap();
+        assert_eq!(m[0][0], 0.0);
+    }
+
+    #[test]
+    fn jaccard_matrix_rejects_uncoordinated_members() {
+        let a = sketch_of(0..100, 1);
+        let b = sketch_of(0..100, 2);
+        assert!(jaccard_matrix(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        let a = DistinctSketch::new(&cfg(), 9);
+        let b = sketch_of(0..300, 9);
+        let sim = similarity(&a, &b).unwrap();
+        assert_eq!(sim.intersection, 0.0);
+        assert_eq!(sim.union, 300.0);
+        assert_eq!(sim.difference_b_minus_a, 300.0);
+    }
+}

@@ -1,0 +1,641 @@
+//! A single coordinated-sampling trial — the paper's core data structure.
+//!
+//! One trial holds a seeded hash function, a *current level* `l`, and a
+//! bounded sample `S` of the distinct labels seen whose hash level is at
+//! least `l`. The invariants, maintained by every operation:
+//!
+//! 1. `S = { x observed : lvl(x) ≥ l }` — the sample is a *deterministic
+//!    function of the observed label set* (given the seed). This is the
+//!    coordination property: two parties with the same seed that saw the
+//!    same labels hold identical samples, and a party that saw the union
+//!    of two streams holds exactly the merge of the two parties' trials.
+//! 2. `|S| ≤ c` (the configured capacity). When an insert would violate
+//!    this, the level is *promoted* (`l += 1`) and `S` is sub-sampled,
+//!    halving it in expectation, until the new label either fits or no
+//!    longer qualifies.
+//!
+//! Since every label in `S` survives independently with probability
+//! `2^{-l}` (pairwise-independently, to be precise), `|S|·2^l` is an
+//! unbiased estimate of the number of distinct labels observed.
+
+use gt_hash::{HashFamily, LevelHasher, MAX_LEVEL};
+
+use crate::error::{Result, SketchError};
+use crate::sampleset::{FixedCapMap, InsertOutcome};
+
+/// Payload attached to each sampled label.
+///
+/// For plain distinct counting the payload is `()`. For SumDistinct-style
+/// aggregates it carries the label's value. `merge` reconciles payloads
+/// when the same label arrives twice (locally or via sketch union); the
+/// paper's model has the value be a function of the label, so agreement is
+/// expected — implementations for numeric types keep the first-seen value,
+/// matching "duplicate-insensitive" semantics.
+pub trait Payload: Copy + Default {
+    /// Reconcile two payloads observed for the same label.
+    fn merge(self, other: Self) -> Self;
+}
+
+impl Payload for () {
+    #[inline]
+    fn merge(self, _other: Self) -> Self {}
+}
+
+impl Payload for u64 {
+    #[inline]
+    fn merge(self, _other: Self) -> Self {
+        self
+    }
+}
+
+impl Payload for f64 {
+    #[inline]
+    fn merge(self, _other: Self) -> Self {
+        self
+    }
+}
+
+/// What [`CoordinatedTrial::insert`] did with an item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrialInsert {
+    /// Label's level is below the trial's current level; not sampled.
+    BelowLevel,
+    /// Label entered the sample.
+    Sampled,
+    /// Label was already in the sample (duplicate).
+    Duplicate,
+    /// Inserting forced one or more level promotions first; the label was
+    /// then sampled (it survived the promotions).
+    SampledAfterPromotion,
+    /// Inserting forced promotions that disqualified the label itself.
+    EvictedByPromotion,
+}
+
+/// A single trial of coordinated adaptive sampling over labels in
+/// `[0, 2^61 − 1)` with payloads `V`.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct CoordinatedTrial<V> {
+    hasher: HashFamily,
+    level: u8,
+    sample: FixedCapMap<V>,
+    /// Items observed (including duplicates and below-level items) —
+    /// diagnostics only; not part of the estimator.
+    items_observed: u64,
+}
+
+impl<V: Payload> CoordinatedTrial<V> {
+    /// Create a trial with the given hash function and sample capacity.
+    pub fn new(hasher: HashFamily, capacity: usize) -> Self {
+        CoordinatedTrial {
+            hasher,
+            level: 0,
+            sample: FixedCapMap::with_capacity(capacity),
+            items_observed: 0,
+        }
+    }
+
+    /// Reconstruct a trial from transmitted state (the decode side of a
+    /// wire codec). Validates the sample invariant: every entry's hash
+    /// level must clear `level`, and the entry count must fit `capacity`.
+    pub fn from_parts(
+        hasher: HashFamily,
+        capacity: usize,
+        level: u8,
+        items_observed: u64,
+        entries: impl IntoIterator<Item = (u64, V)>,
+    ) -> Result<Self> {
+        if level > MAX_LEVEL {
+            return Err(SketchError::InvalidConfig {
+                parameter: "level",
+                reason: format!("level {level} exceeds maximum {MAX_LEVEL}"),
+            });
+        }
+        let mut sample = FixedCapMap::with_capacity(capacity);
+        for (label, payload) in entries {
+            // Range check before hashing: corrupted wire input can carry
+            // labels outside the field (caught by the codec fuzz tests).
+            if label >= gt_hash::P61 {
+                return Err(SketchError::LabelOutOfRange { label });
+            }
+            if hasher.level(label) < level {
+                return Err(SketchError::InvalidConfig {
+                    parameter: "sample",
+                    reason: format!("label {label} does not qualify for level {level} (corrupt or uncoordinated message)"),
+                });
+            }
+            match sample.try_insert(label, payload) {
+                InsertOutcome::Inserted => {}
+                InsertOutcome::AlreadyPresent => {
+                    return Err(SketchError::InvalidConfig {
+                        parameter: "sample",
+                        reason: format!("duplicate label {label} in transmitted sample"),
+                    })
+                }
+                InsertOutcome::Full => {
+                    return Err(SketchError::InvalidConfig {
+                        parameter: "sample",
+                        reason: format!("transmitted sample exceeds capacity {capacity}"),
+                    })
+                }
+            }
+        }
+        Ok(CoordinatedTrial {
+            hasher,
+            level,
+            sample,
+            items_observed,
+        })
+    }
+
+    /// Current sampling level `l` (sampling probability `2^{-l}`).
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Number of labels currently sampled.
+    pub fn sample_len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// The sample capacity `c`.
+    pub fn capacity(&self) -> usize {
+        self.sample.capacity()
+    }
+
+    /// Total items observed by this trial (duplicates included).
+    pub fn items_observed(&self) -> u64 {
+        self.items_observed
+    }
+
+    /// The hash function driving this trial (parties must agree on it).
+    pub fn hasher(&self) -> &HashFamily {
+        &self.hasher
+    }
+
+    /// Iterate over the sampled `(label, payload)` pairs.
+    pub fn sample_iter(&self) -> impl Iterator<Item = (u64, V)> + '_ {
+        self.sample.iter()
+    }
+
+    /// Whether `label` is currently in the sample.
+    pub fn contains_label(&self, label: u64) -> bool {
+        self.sample.contains(label)
+    }
+
+    /// Bytes of heap storage used by the sample (space accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.sample.heap_bytes()
+    }
+
+    /// Observe one `(label, payload)` item from the stream.
+    ///
+    /// Labels must lie in `[0, 2^61 − 1)`; larger values are folded mod
+    /// `2^61 − 1` by the hash arithmetic (use `gt_hash::fold61` for
+    /// full-range labels). Amortized cost is O(1) hash evaluations plus,
+    /// over the whole stream, O(log F₀) sub-sampling sweeps.
+    #[inline]
+    pub fn insert(&mut self, label: u64, payload: V) -> TrialInsert {
+        self.items_observed += 1;
+        let lvl = self.hasher.level(label);
+        if lvl < self.level {
+            return TrialInsert::BelowLevel;
+        }
+        let mut promoted = false;
+        loop {
+            match self.sample.try_insert(label, payload) {
+                InsertOutcome::Inserted => {
+                    return if promoted {
+                        TrialInsert::SampledAfterPromotion
+                    } else {
+                        TrialInsert::Sampled
+                    };
+                }
+                InsertOutcome::AlreadyPresent => return TrialInsert::Duplicate,
+                InsertOutcome::Full => {
+                    self.promote();
+                    promoted = true;
+                    if lvl < self.level {
+                        return TrialInsert::EvictedByPromotion;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`CoordinatedTrial::insert`], but a duplicate arrival *merges*
+    /// its payload into the stored one (`Payload::merge(new, old)`) instead
+    /// of leaving it untouched. Used by payloads that accumulate per-label
+    /// state across arrivals (e.g. latest-timestamp tracking); plain
+    /// distinct counting sticks with `insert`, which skips the extra probe
+    /// work on duplicates.
+    #[inline]
+    pub fn insert_merging(&mut self, label: u64, payload: V) -> TrialInsert {
+        let outcome = self.insert(label, payload);
+        if outcome == TrialInsert::Duplicate {
+            self.sample.update(label, |v| *v = payload.merge(*v));
+        }
+        outcome
+    }
+
+    /// Raise the level by one and sub-sample. Each stored label survives
+    /// iff its hash level clears the new threshold (prob. ½ each,
+    /// pairwise-independently).
+    fn promote(&mut self) {
+        assert!(
+            self.level < MAX_LEVEL,
+            "level overflow: >{} labels share {MAX_LEVEL} trailing zero bits — \
+             astronomically unlikely under a sound hash; check the hash family",
+            self.capacity()
+        );
+        self.level += 1;
+        let threshold = self.level;
+        let hasher = self.hasher.clone();
+        self.sample
+            .retain(|label, _| hasher.level(label) >= threshold);
+    }
+
+    /// Force the trial down to sampling level `target ≥ self.level`,
+    /// discarding sample entries that do not qualify. Used by the referee
+    /// to align trials from different parties before union.
+    pub fn subsample_to_level(&mut self, target: u8) {
+        assert!(
+            target >= self.level,
+            "cannot lower a sampling level ({} -> {target}): discarded labels cannot be recovered",
+            self.level
+        );
+        if target == self.level {
+            return;
+        }
+        self.level = target;
+        let hasher = self.hasher.clone();
+        self.sample.retain(|label, _| hasher.level(label) >= target);
+    }
+
+    /// A copy of this trial shrunk to a smaller capacity: the level is
+    /// promoted until the sample fits.
+    ///
+    /// Because promotion is monotone and only ever happens on overflow,
+    /// the result is *exactly* the trial a party with `new_capacity` would
+    /// have ended at after observing the same label set (the final level
+    /// is the minimal `l` with `|{x : lvl(x) ≥ l}| ≤ c` either way) — so
+    /// shrunken sketches remain coordinated. Verified by test.
+    ///
+    /// # Panics
+    /// Panics if `new_capacity` is 0 or larger than the current capacity
+    /// (growing cannot restore discarded labels).
+    pub fn shrunk_to_capacity(&self, new_capacity: usize) -> CoordinatedTrial<V> {
+        assert!(
+            (1..=self.capacity()).contains(&new_capacity),
+            "new capacity {new_capacity} must be in [1, {}]",
+            self.capacity()
+        );
+        let mut out = CoordinatedTrial {
+            hasher: self.hasher.clone(),
+            level: self.level,
+            sample: FixedCapMap::with_capacity(new_capacity),
+            items_observed: self.items_observed,
+        };
+        // Find the minimal level at which the sample fits, then copy the
+        // qualifying entries.
+        let mut level = self.level;
+        loop {
+            let count = self
+                .sample
+                .iter()
+                .filter(|&(label, _)| self.hasher.level(label) >= level)
+                .count();
+            if count <= new_capacity {
+                break;
+            }
+            assert!(level < MAX_LEVEL, "level overflow while shrinking");
+            level += 1;
+        }
+        out.level = level;
+        for (label, payload) in self.sample.iter() {
+            if self.hasher.level(label) >= level {
+                let r = out.sample.try_insert(label, payload);
+                debug_assert_eq!(r, InsertOutcome::Inserted);
+            }
+        }
+        out
+    }
+
+    /// This trial's estimate of the number of distinct labels observed:
+    /// `|S| · 2^l`. Exact whenever the level never left 0.
+    pub fn estimate_distinct(&self) -> f64 {
+        self.sample.len() as f64 * 2f64.powi(self.level as i32)
+    }
+
+    /// This trial's estimate of `Σ_{distinct x} payload(x)` via
+    /// `2^l · Σ_{x ∈ S} payload(x)` (payload convertible to f64 by caller).
+    pub fn estimate_weighted(&self, weight: impl Fn(u64, V) -> f64) -> f64 {
+        let sum: f64 = self.sample.iter().map(|(k, v)| weight(k, v)).sum();
+        sum * 2f64.powi(self.level as i32)
+    }
+
+    /// Merge another trial *of the same hash function* into this one,
+    /// producing exactly the trial a single party would hold had it
+    /// observed both streams (the referee's union step).
+    pub fn merge_from(&mut self, other: &CoordinatedTrial<V>) -> Result<()> {
+        if self.hasher != other.hasher {
+            return Err(SketchError::SeedMismatch);
+        }
+        if self.capacity() != other.capacity() {
+            return Err(SketchError::ConfigMismatch {
+                detail: format!("trial capacity {} vs {}", self.capacity(), other.capacity()),
+            });
+        }
+        // Align to the higher of the two levels first.
+        if other.level > self.level {
+            self.subsample_to_level(other.level);
+        }
+        for (label, payload) in other.sample.iter() {
+            if self.hasher.level(label) < self.level {
+                continue; // other ran at a lower level; this label no longer qualifies
+            }
+            loop {
+                match self.sample.try_insert(label, payload) {
+                    InsertOutcome::Inserted => break,
+                    InsertOutcome::AlreadyPresent => {
+                        // Both sides sampled this label: reconcile payloads
+                        // in place (keep-first for the built-in payload
+                        // types, custom for user payloads).
+                        self.sample.update(label, |v| *v = v.merge(payload));
+                        break;
+                    }
+                    InsertOutcome::Full => {
+                        self.promote();
+                        if self.hasher.level(label) < self.level {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.items_observed += other.items_observed;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_hash::{FamilySeed, HashFamilyKind};
+
+    fn trial(capacity: usize, seed: u64) -> CoordinatedTrial<()> {
+        CoordinatedTrial::new(HashFamilyKind::Pairwise.build(FamilySeed(seed)), capacity)
+    }
+
+    fn labels(n: u64, salt: u64) -> impl Iterator<Item = u64> {
+        (0..n).map(move |i| gt_hash::fold61(i ^ (salt << 32)))
+    }
+
+    #[test]
+    fn small_sets_are_counted_exactly() {
+        let mut t = trial(64, 1);
+        for x in labels(50, 0) {
+            t.insert(x, ());
+        }
+        assert_eq!(t.level(), 0);
+        assert_eq!(t.estimate_distinct(), 50.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_change_state() {
+        let mut t = trial(64, 1);
+        for x in labels(50, 0) {
+            t.insert(x, ());
+        }
+        let before_len = t.sample_len();
+        let before_level = t.level();
+        let mut dup_seen = false;
+        for x in labels(50, 0) {
+            let r = t.insert(x, ());
+            dup_seen |= r == TrialInsert::Duplicate;
+            assert!(matches!(
+                r,
+                TrialInsert::Duplicate | TrialInsert::BelowLevel
+            ));
+        }
+        assert!(dup_seen);
+        assert_eq!(t.sample_len(), before_len);
+        assert_eq!(t.level(), before_level);
+        assert_eq!(t.estimate_distinct(), 50.0);
+        assert_eq!(t.items_observed(), 100);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut t = trial(32, 2);
+        for x in labels(10_000, 1) {
+            t.insert(x, ());
+            assert!(t.sample_len() <= 32);
+        }
+        assert!(t.level() > 0, "10k distinct into capacity 32 must promote");
+    }
+
+    #[test]
+    fn sample_invariant_holds_after_promotions() {
+        // Every sampled label has level ≥ trial level; every observed label
+        // with level ≥ trial level is in the sample.
+        let mut t = trial(32, 3);
+        let observed: Vec<u64> = labels(5_000, 2).collect();
+        for &x in &observed {
+            t.insert(x, ());
+        }
+        let hasher = t.hasher().clone();
+        let l = t.level();
+        let sampled: std::collections::HashSet<u64> = t.sample_iter().map(|(k, _)| k).collect();
+        for &x in &observed {
+            let qualifies = hasher.level(x) >= l;
+            assert_eq!(sampled.contains(&x), qualifies, "label {x}");
+        }
+    }
+
+    #[test]
+    fn estimate_is_close_for_large_sets() {
+        let mut t = trial(4096, 4);
+        let n = 100_000u64;
+        for x in labels(n, 3) {
+            t.insert(x, ());
+        }
+        let est = t.estimate_distinct();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.1, "estimate {est} vs {n} (rel {rel})");
+    }
+
+    #[test]
+    fn coordination_insertion_order_is_irrelevant() {
+        let mut a = trial(32, 5);
+        let mut b = trial(32, 5);
+        let v: Vec<u64> = labels(2_000, 4).collect();
+        for &x in &v {
+            a.insert(x, ());
+        }
+        for &x in v.iter().rev() {
+            b.insert(x, ());
+        }
+        assert_eq!(a.level(), b.level());
+        let sa: std::collections::BTreeSet<u64> = a.sample_iter().map(|(k, _)| k).collect();
+        let sb: std::collections::BTreeSet<u64> = b.sample_iter().map(|(k, _)| k).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn merge_equals_single_party_on_concatenation() {
+        let v1: Vec<u64> = labels(3_000, 5).collect();
+        let v2: Vec<u64> = labels(3_000, 6).collect();
+        let mut a = trial(64, 7);
+        let mut b = trial(64, 7);
+        let mut whole = trial(64, 7);
+        for &x in &v1 {
+            a.insert(x, ());
+            whole.insert(x, ());
+        }
+        for &x in &v2 {
+            b.insert(x, ());
+            whole.insert(x, ());
+        }
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.level(), whole.level());
+        let sa: std::collections::BTreeSet<u64> = a.sample_iter().map(|(k, _)| k).collect();
+        let sw: std::collections::BTreeSet<u64> = whole.sample_iter().map(|(k, _)| k).collect();
+        assert_eq!(sa, sw);
+        assert_eq!(a.items_observed(), whole.items_observed());
+    }
+
+    #[test]
+    fn merge_with_overlap_is_duplicate_insensitive() {
+        let shared: Vec<u64> = labels(1_000, 8).collect();
+        let mut a = trial(64, 9);
+        let mut b = trial(64, 9);
+        for &x in &shared {
+            a.insert(x, ());
+            b.insert(x, ());
+        }
+        let solo_estimate = a.estimate_distinct();
+        a.merge_from(&b).unwrap();
+        assert_eq!(
+            a.estimate_distinct(),
+            solo_estimate,
+            "identical streams must merge to themselves"
+        );
+    }
+
+    #[test]
+    fn merge_rejects_different_seeds() {
+        let mut a = trial(16, 1);
+        let b = trial(16, 2);
+        assert_eq!(a.merge_from(&b), Err(SketchError::SeedMismatch));
+    }
+
+    #[test]
+    fn merge_rejects_different_capacities() {
+        let hasher = HashFamilyKind::Pairwise.build(FamilySeed(1));
+        let mut a: CoordinatedTrial<()> = CoordinatedTrial::new(hasher.clone(), 16);
+        let b: CoordinatedTrial<()> = CoordinatedTrial::new(hasher, 32);
+        assert!(matches!(
+            a.merge_from(&b),
+            Err(SketchError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn subsample_to_level_halves_in_expectation() {
+        let mut t = trial(8192, 10);
+        for x in labels(8_000, 9) {
+            t.insert(x, ());
+        }
+        assert_eq!(t.level(), 0);
+        let n0 = t.sample_len() as f64;
+        t.subsample_to_level(2);
+        let n2 = t.sample_len() as f64;
+        assert!(
+            (n2 - n0 / 4.0).abs() < 6.0 * (n0 / 4.0).sqrt(),
+            "n0 {n0} n2 {n2}"
+        );
+        assert_eq!(t.level(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot lower a sampling level")]
+    fn subsample_cannot_lower_level() {
+        let mut t = trial(4, 11);
+        for x in labels(100, 10) {
+            t.insert(x, ());
+        }
+        let l = t.level();
+        t.subsample_to_level(l - 1);
+    }
+
+    #[test]
+    fn weighted_estimate_scales_payloads() {
+        let hasher = HashFamilyKind::Pairwise.build(FamilySeed(12));
+        let mut t: CoordinatedTrial<u64> = CoordinatedTrial::new(hasher, 128);
+        for x in 0..100u64 {
+            t.insert(gt_hash::fold61(x), 3);
+        }
+        // Level 0 ⇒ exact: 100 labels × weight 3.
+        assert_eq!(t.estimate_weighted(|_, v| v as f64), 300.0);
+        assert_eq!(t.estimate_distinct(), 100.0);
+    }
+
+    #[test]
+    fn from_parts_validates_transmitted_state() {
+        let hasher = HashFamilyKind::Pairwise.build(FamilySeed(3));
+        // Out-of-field label rejected.
+        let r = CoordinatedTrial::<()>::from_parts(hasher.clone(), 8, 0, 1, vec![(u64::MAX, ())]);
+        assert!(matches!(r, Err(SketchError::LabelOutOfRange { .. })));
+        // Level violation rejected: find a level-0 label, claim level 5.
+        let lvl0 = (0..10_000u64)
+            .map(gt_hash::fold61)
+            .find(|&x| {
+                use gt_hash::LevelHasher;
+                hasher.level(x) == 0
+            })
+            .unwrap();
+        let r = CoordinatedTrial::<()>::from_parts(hasher.clone(), 8, 5, 1, vec![(lvl0, ())]);
+        assert!(r.is_err());
+        // Over-capacity rejected.
+        let entries: Vec<(u64, ())> = (0..10u64).map(|i| (gt_hash::fold61(i), ())).collect();
+        let r = CoordinatedTrial::from_parts(hasher.clone(), 4, 0, 10, entries.clone());
+        assert!(r.is_err());
+        // Valid state round-trips.
+        let ok = CoordinatedTrial::from_parts(hasher, 16, 0, 10, entries).unwrap();
+        assert_eq!(ok.sample_len(), 10);
+        assert_eq!(ok.items_observed(), 10);
+    }
+
+    #[test]
+    fn insert_outcome_classification() {
+        let mut t = trial(2, 13);
+        // Find labels of level ≥ 1 and level 0 to steer outcomes.
+        let hasher = t.hasher().clone();
+        let mut lvl0 = None;
+        for x in 0..10_000u64 {
+            let x = gt_hash::fold61(x);
+            if hasher.level(x) == 0 {
+                lvl0 = Some(x);
+                break;
+            }
+        }
+        let lvl0 = lvl0.expect("a level-0 label exists");
+        assert_eq!(t.insert(lvl0, ()), TrialInsert::Sampled);
+        assert_eq!(t.insert(lvl0, ()), TrialInsert::Duplicate);
+        // Fill to capacity with higher-level labels, forcing promotion;
+        // lvl0 label is evicted and future inserts of it report BelowLevel.
+        let mut inserted = 1;
+        for x in 10_000..200_000u64 {
+            let x = gt_hash::fold61(x);
+            if hasher.level(x) >= 1 {
+                t.insert(x, ());
+                inserted += 1;
+                if inserted > 3 {
+                    break;
+                }
+            }
+        }
+        assert!(t.level() >= 1);
+        assert_eq!(t.insert(lvl0, ()), TrialInsert::BelowLevel);
+    }
+}

@@ -1,0 +1,106 @@
+//! Crate-level property tests on sketch monotonicity and lifecycle
+//! invariants under arbitrary interleavings of operations.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gt_core::{DistinctSketch, SketchConfig};
+use gt_hash::HashFamilyKind;
+
+fn config(capacity: usize, trials: usize) -> SketchConfig {
+    SketchConfig::from_shape(0.3, 0.3, capacity, trials, HashFamilyKind::Pairwise).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Levels never decrease, observation counters never decrease, and the
+    /// capacity bound holds at every step of an arbitrary stream.
+    #[test]
+    fn lifecycle_monotonicity(items in vec(0u64..50_000, 1..500)) {
+        let mut s = DistinctSketch::new(&config(16, 3), 7);
+        let mut last_levels: Vec<u8> = s.trials().iter().map(|t| t.level()).collect();
+        let mut last_items = 0u64;
+        for (step, &x) in items.iter().enumerate() {
+            s.insert(gt_hash::fold61(x));
+            for (t, &prev) in s.trials().iter().zip(last_levels.iter()) {
+                prop_assert!(t.level() >= prev, "level decreased at step {step}");
+                prop_assert!(t.sample_len() <= t.capacity());
+            }
+            prop_assert!(s.items_observed() > last_items);
+            last_levels = s.trials().iter().map(|t| t.level()).collect();
+            last_items = s.items_observed();
+        }
+    }
+
+    /// Merging extra data can only grow each trial's level and (at equal
+    /// levels) its sample — union is monotone in the set order.
+    #[test]
+    fn union_is_monotone(
+        a in vec(0u64..20_000, 1..300),
+        b in vec(0u64..20_000, 0..300),
+    ) {
+        let cfg = config(32, 3);
+        let mut sa = DistinctSketch::new(&cfg, 9);
+        sa.extend_labels(a.iter().map(|&x| gt_hash::fold61(x)));
+        let mut sb = DistinctSketch::new(&cfg, 9);
+        sb.extend_labels(b.iter().map(|&x| gt_hash::fold61(x)));
+        let union = sa.merged(&sb).unwrap();
+        for (tu, ta) in union.trials().iter().zip(sa.trials().iter()) {
+            prop_assert!(tu.level() >= ta.level());
+            if tu.level() == ta.level() {
+                // Every label of A's sample must still be present.
+                for (label, _) in ta.sample_iter() {
+                    prop_assert!(tu.contains_label(label));
+                }
+            }
+        }
+    }
+
+    /// Estimates respect the trivial bounds: between 0 and (well above) the
+    /// number of items observed can't be asserted tightly, but an estimate
+    /// can never be negative and an empty sketch is exactly zero; and
+    /// inserting the first label moves the estimate to exactly 1.
+    #[test]
+    fn estimate_boundary_behaviour(label in 0..gt_hash::P61) {
+        let mut s = DistinctSketch::new(&config(8, 3), 3);
+        prop_assert_eq!(s.estimate_distinct().value, 0.0);
+        s.insert(label);
+        prop_assert_eq!(s.estimate_distinct().value, 1.0);
+        s.insert(label);
+        prop_assert_eq!(s.estimate_distinct().value, 1.0);
+    }
+
+    /// Shrinking then merging is the same as merging then shrinking
+    /// (compaction commutes with union).
+    #[test]
+    fn shrink_commutes_with_merge(
+        a in vec(0u64..10_000, 1..200),
+        b in vec(0u64..10_000, 1..200),
+    ) {
+        let cfg = config(64, 3);
+        let mut sa = DistinctSketch::new(&cfg, 11);
+        sa.extend_labels(a.iter().map(|&x| gt_hash::fold61(x)));
+        let mut sb = DistinctSketch::new(&cfg, 11);
+        sb.extend_labels(b.iter().map(|&x| gt_hash::fold61(x)));
+
+        let shrink_then_merge = {
+            let sa = sa.with_capacity(16).unwrap();
+            let sb = sb.with_capacity(16).unwrap();
+            sa.merged(&sb).unwrap()
+        };
+        let merge_then_shrink = sa.merged(&sb).unwrap().with_capacity(16).unwrap();
+
+        let state = |s: &DistinctSketch| -> Vec<(u8, Vec<u64>)> {
+            s.trials()
+                .iter()
+                .map(|t| {
+                    let mut v: Vec<u64> = t.sample_iter().map(|(k, _)| k).collect();
+                    v.sort_unstable();
+                    (t.level(), v)
+                })
+                .collect()
+        };
+        prop_assert_eq!(state(&shrink_then_merge), state(&merge_then_shrink));
+    }
+}

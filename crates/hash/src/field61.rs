@@ -1,0 +1,317 @@
+//! Arithmetic over the Mersenne prime field `GF(p)` with `p = 2^61 − 1`.
+//!
+//! Mersenne primes admit branch-light modular reduction: a 122-bit product
+//! splits into two 61-bit halves whose sum is congruent to the product
+//! (because `2^61 ≡ 1 (mod p)`). All sketch-critical hashing in this
+//! workspace runs over this field, so the routines here are written for the
+//! hot path: no division, no data-dependent branching beyond a final
+//! conditional subtract.
+//!
+//! Elements are represented as `u64` values in `[0, p)`. The wrapper type
+//! [`Field61`] enforces the range invariant at construction; the free
+//! functions (`add61`, `mul61`, …) operate on raw `u64` for zero-overhead
+//! use inside hash kernels and require (and preserve) in-range inputs.
+
+/// The Mersenne prime `2^61 − 1 = 2_305_843_009_213_693_951`.
+pub const P61: u64 = (1u64 << 61) - 1;
+
+/// Reduce an arbitrary `u64` into `[0, p)`.
+///
+/// Values in `[p, 2^64)` wrap around; callers that need injectivity must
+/// restrict their universe to `[0, p)` (see crate-level docs and
+/// [`crate::mix::fold61`]).
+#[inline(always)]
+pub fn reduce64(x: u64) -> u64 {
+    // x = hi·2^61 + lo with hi < 8, and 2^61 ≡ 1, so x ≡ hi + lo.
+    let r = (x & P61) + (x >> 61);
+    if r >= P61 {
+        r - P61
+    } else {
+        r
+    }
+}
+
+/// Reduce a 128-bit value into `[0, p)`.
+#[inline(always)]
+pub fn reduce128(x: u128) -> u64 {
+    // Split into low 61 bits and the (≤ 67-bit) high part, fold once into a
+    // ≤ 68-bit value, then fold again with `reduce64`.
+    let lo = (x as u64) & P61;
+    let hi = x >> 61; // < 2^67
+    let hi_lo = (hi as u64) & P61;
+    let hi_hi = (hi >> 61) as u64; // < 64
+    let mut r = lo + hi_lo + hi_hi;
+    // r < 2^62 + small; two conditional subtracts suffice.
+    if r >= P61 {
+        r -= P61;
+    }
+    if r >= P61 {
+        r -= P61;
+    }
+    r
+}
+
+/// `(a + b) mod p` for `a, b < p`.
+#[inline(always)]
+pub fn add61(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P61 && b < P61);
+    let s = a + b; // < 2^62, no overflow
+    if s >= P61 {
+        s - P61
+    } else {
+        s
+    }
+}
+
+/// `(a - b) mod p` for `a, b < p`.
+#[inline(always)]
+pub fn sub61(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P61 && b < P61);
+    if a >= b {
+        a - b
+    } else {
+        a + P61 - b
+    }
+}
+
+/// `(a · b) mod p` for `a, b < p`.
+#[inline(always)]
+pub fn mul61(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P61 && b < P61);
+    reduce128((a as u128) * (b as u128))
+}
+
+/// `(a · b + c) mod p` for `a, b, c < p` — the affine hash kernel.
+#[inline(always)]
+pub fn mul_add61(a: u64, b: u64, c: u64) -> u64 {
+    debug_assert!(a < P61 && b < P61 && c < P61);
+    reduce128((a as u128) * (b as u128) + (c as u128))
+}
+
+/// `a^e mod p` by square-and-multiply. Not hot-path; used by tests and by
+/// inverse computation.
+pub fn pow61(mut a: u64, mut e: u64) -> u64 {
+    let mut acc = 1u64;
+    a = reduce64(a);
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul61(acc, a);
+        }
+        a = mul61(a, a);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse of `a ≠ 0` via Fermat's little theorem.
+///
+/// # Panics
+/// Panics if `a ≡ 0 (mod p)`.
+pub fn inv61(a: u64) -> u64 {
+    let a = reduce64(a);
+    assert!(a != 0, "zero has no multiplicative inverse");
+    pow61(a, P61 - 2)
+}
+
+/// A field element of `GF(2^61 − 1)`, guaranteed in `[0, p)`.
+///
+/// The wrapper exists for code that wants type-level assurance of the range
+/// invariant (e.g. seed material); hash kernels use the raw free functions.
+#[derive(
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    Debug,
+    Default,
+    PartialOrd,
+    Ord,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Field61(u64);
+
+impl Field61 {
+    /// The additive identity.
+    pub const ZERO: Field61 = Field61(0);
+    /// The multiplicative identity.
+    pub const ONE: Field61 = Field61(1);
+
+    /// Construct from an arbitrary `u64`, reducing mod `p`.
+    #[inline]
+    pub fn new(x: u64) -> Self {
+        Field61(reduce64(x))
+    }
+
+    /// The canonical representative in `[0, p)`.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Exponentiation.
+    #[inline]
+    pub fn pow(self, e: u64) -> Field61 {
+        Field61(pow61(self.0, e))
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    #[inline]
+    pub fn inv(self) -> Field61 {
+        Field61(inv61(self.0))
+    }
+}
+
+impl std::ops::Add for Field61 {
+    type Output = Field61;
+    #[inline]
+    fn add(self, rhs: Field61) -> Field61 {
+        Field61(add61(self.0, rhs.0))
+    }
+}
+
+impl std::ops::Sub for Field61 {
+    type Output = Field61;
+    #[inline]
+    fn sub(self, rhs: Field61) -> Field61 {
+        Field61(sub61(self.0, rhs.0))
+    }
+}
+
+impl std::ops::Mul for Field61 {
+    type Output = Field61;
+    #[inline]
+    fn mul(self, rhs: Field61) -> Field61 {
+        Field61(mul61(self.0, rhs.0))
+    }
+}
+
+impl From<u64> for Field61 {
+    fn from(x: u64) -> Self {
+        Field61::new(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p61_is_mersenne() {
+        assert_eq!(P61, 2_305_843_009_213_693_951);
+        assert_eq!(P61, (1u64 << 61) - 1);
+    }
+
+    #[test]
+    fn reduce64_identity_below_p() {
+        for x in [0, 1, 12345, P61 - 1] {
+            assert_eq!(reduce64(x), x);
+        }
+    }
+
+    #[test]
+    fn reduce64_wraps_at_p() {
+        assert_eq!(reduce64(P61), 0);
+        assert_eq!(reduce64(P61 + 1), 1);
+        // 2^64 − 1 = 8·(p + 1) − 1 = 8p + 7 ≡ 7.
+        assert_eq!(reduce64(u64::MAX), 7);
+    }
+
+    #[test]
+    fn reduce128_matches_naive_mod() {
+        let cases: [u128; 8] = [
+            0,
+            1,
+            P61 as u128,
+            (P61 as u128) * 2 + 5,
+            u64::MAX as u128,
+            (P61 as u128) * (P61 as u128),
+            ((P61 - 1) as u128) * ((P61 - 1) as u128) + (P61 - 1) as u128,
+            u128::MAX >> 6, // 122-bit, the max a mul_add can produce
+        ];
+        for &x in &cases {
+            assert_eq!(reduce128(x) as u128, x % (P61 as u128), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let pairs = [(0, 0), (1, P61 - 1), (P61 - 1, P61 - 1), (12345, 67890)];
+        for (a, b) in pairs {
+            let s = add61(a, b);
+            assert!(s < P61);
+            assert_eq!(sub61(s, b), a);
+            assert_eq!(sub61(s, a), b);
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let vals = [0u64, 1, 2, 3, 1 << 30, P61 - 1, P61 / 2, 987_654_321];
+        for &a in &vals {
+            for &b in &vals {
+                let expect = ((a as u128 * b as u128) % P61 as u128) as u64;
+                assert_eq!(mul61(a, b), expect, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let vals = [0u64, 1, P61 - 1, 555_555_555, 1 << 60];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    assert_eq!(mul_add61(a, b, c), add61(mul61(a, b), c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        for a in [1u64, 2, 3, 17, P61 - 1, 1 << 40] {
+            let ai = inv61(a);
+            assert_eq!(mul61(a, ai), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no multiplicative inverse")]
+    fn inverse_of_zero_panics() {
+        inv61(0);
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(pow61(2, 10), 1024);
+        assert_eq!(pow61(3, 4), 81);
+    }
+
+    #[test]
+    fn pow_of_two_wraps_to_one() {
+        // 2^61 = p + 1 ≡ 1 (mod p)
+        assert_eq!(pow61(2, 61), 1);
+        assert_eq!(pow61(2, 122), 1);
+    }
+
+    #[test]
+    fn field_wrapper_ops() {
+        let a = Field61::new(u64::MAX);
+        assert!(a.value() < P61);
+        let b = Field61::new(7);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * b * b.inv(), a);
+        assert_eq!(Field61::ONE.pow(999), Field61::ONE);
+        assert_eq!(Field61::ZERO + Field61::ZERO, Field61::ZERO);
+    }
+
+    #[test]
+    fn fermat_little_theorem_holds() {
+        // a^(p-1) ≡ 1 for a ≠ 0.
+        for a in [2u64, 3, 65537, P61 - 2] {
+            assert_eq!(pow61(a, P61 - 1), 1);
+        }
+    }
+}

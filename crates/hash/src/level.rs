@@ -1,0 +1,246 @@
+//! The geometric *level* map at the heart of coordinated sampling, and the
+//! devirtualized [`HashFamily`] dispatcher used on sketch hot paths.
+//!
+//! An item `x` is assigned `lvl(x) =` number of trailing zero bits of
+//! `h(x)`, so `Pr[lvl(x) ≥ l] = 2^{-l}` (up to an additive `2^l/p` from the
+//! field not being an exact power of two — negligible for every level a
+//! sketch can reach; quantified in [`level_probability`]). Crucially the
+//! level of a label is a pure function of `(seed, label)`: every party that
+//! shares the seed assigns every label the same level, which is what makes
+//! locally-collected samples union-compatible.
+
+use crate::multiply_shift::MultiplyShift;
+use crate::pairwise::{Pairwise61, Polynomial61};
+use crate::sabotage::Sabotaged;
+use crate::seeds::{FamilySeed, SeedRng};
+use crate::tabulation::Tabulation;
+
+/// Maximum level a label can be assigned. Hash outputs live in `[0, 2^61)`;
+/// a value of zero (or with ≥ 60 trailing zeros) is capped here.
+pub const MAX_LEVEL: u8 = 60;
+
+/// Anything that can hash a label and assign it a sampling level.
+pub trait LevelHasher {
+    /// Hash a label from `[0, 2^61 − 1)` into `[0, 2^61)`.
+    fn hash_label(&self, x: u64) -> u64;
+
+    /// The sampling level of a label: trailing zeros of its hash, capped at
+    /// [`MAX_LEVEL`]. `Pr[level(x) ≥ l] = 2^{-l}` for a sound family.
+    #[inline]
+    fn level(&self, x: u64) -> u8 {
+        let h = self.hash_label(x);
+        if h == 0 {
+            MAX_LEVEL
+        } else {
+            (h.trailing_zeros() as u8).min(MAX_LEVEL)
+        }
+    }
+}
+
+/// Which hash family to draw from — the sketch-level configuration knob.
+///
+/// [`HashFamilyKind::Pairwise`] is the paper's choice and the default
+/// everywhere; the others exist for the E11 ablation and for users who want
+/// to trade guarantees for speed knowingly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum HashFamilyKind {
+    /// Strongly 2-universal affine hash over `GF(2^61 − 1)` (the paper's
+    /// assumption; the default).
+    Pairwise,
+    /// Degree-`k` polynomial (k-wise independent), `k ≥ 2`.
+    KWise(u8),
+    /// Dietzfelbinger multiply–shift (universal, not pairwise-uniform).
+    MultiplyShift,
+    /// Simple tabulation (3-independent, excellent empirical behaviour).
+    Tabulation,
+    /// Ablation: levels biased upward by `k` bits.
+    SabotagedShift(u8),
+    /// Ablation: 4 bits of seed entropy.
+    SabotagedLowEntropy,
+    /// Ablation: identity "hash".
+    SabotagedIdentity,
+}
+
+impl HashFamilyKind {
+    /// Instantiate a concrete function of this family from a seed.
+    ///
+    /// Equal `(kind, seed)` pairs always produce identical functions — the
+    /// coordination contract.
+    pub fn build(self, seed: FamilySeed) -> HashFamily {
+        let mut rng = SeedRng::from_seed(seed.0);
+        match self {
+            HashFamilyKind::Pairwise => HashFamily::Pairwise(Pairwise61::random(&mut rng)),
+            HashFamilyKind::KWise(k) => {
+                HashFamily::Polynomial(Polynomial61::random(k as usize, &mut rng))
+            }
+            HashFamilyKind::MultiplyShift => {
+                HashFamily::MultiplyShift(MultiplyShift::random(&mut rng))
+            }
+            HashFamilyKind::Tabulation => HashFamily::Tabulation(Tabulation::random(&mut rng)),
+            HashFamilyKind::SabotagedShift(k) => {
+                HashFamily::Sabotaged(Sabotaged::shifted(k, &mut rng))
+            }
+            HashFamilyKind::SabotagedLowEntropy => {
+                HashFamily::Sabotaged(Sabotaged::low_entropy(&mut rng))
+            }
+            HashFamilyKind::SabotagedIdentity => HashFamily::Sabotaged(Sabotaged::Identity),
+        }
+    }
+}
+
+/// A concrete hash function, enum-dispatched so the per-item hot path
+/// compiles to a jump table rather than a virtual call (and so sketches
+/// remain `Clone + Send + Serialize` without boxing).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum HashFamily {
+    /// Affine over `GF(2^61−1)`.
+    Pairwise(Pairwise61),
+    /// Degree-k polynomial over `GF(2^61−1)`.
+    Polynomial(Polynomial61),
+    /// Multiply–shift.
+    MultiplyShift(MultiplyShift),
+    /// Simple tabulation.
+    Tabulation(Tabulation),
+    /// One of the deliberately broken ablation hashes.
+    Sabotaged(Sabotaged),
+}
+
+impl LevelHasher for HashFamily {
+    #[inline]
+    fn hash_label(&self, x: u64) -> u64 {
+        match self {
+            HashFamily::Pairwise(h) => h.eval(x),
+            HashFamily::Polynomial(h) => h.eval(x),
+            HashFamily::MultiplyShift(h) => h.eval(x),
+            HashFamily::Tabulation(h) => h.eval(x),
+            HashFamily::Sabotaged(h) => h.eval(x),
+        }
+    }
+}
+
+/// Exact probability that a uniform draw from `[0, p)`, `p = 2^61 − 1`, has
+/// at least `l` trailing zeros — i.e. the true sampling probability the
+/// affine family realizes at level `l`, for comparison against the ideal
+/// `2^{-l}` in calibration tests.
+pub fn level_probability(l: u8) -> f64 {
+    use crate::field61::P61;
+    if l == 0 {
+        return 1.0;
+    }
+    if l > 61 {
+        return 0.0;
+    }
+    // Multiples of 2^l in [0, p): floor((p - 1) / 2^l) + 1.
+    let count = ((P61 - 1) >> l) + 1;
+    count as f64 / P61 as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed(n: u64) -> FamilySeed {
+        FamilySeed(n)
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        for kind in [
+            HashFamilyKind::Pairwise,
+            HashFamilyKind::KWise(4),
+            HashFamilyKind::MultiplyShift,
+            HashFamilyKind::Tabulation,
+        ] {
+            let a = kind.build(seed(5));
+            let b = kind.build(seed(5));
+            for x in [0u64, 1, 99999] {
+                assert_eq!(a.hash_label(x), b.hash_label(x), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let a = HashFamilyKind::Pairwise.build(seed(1));
+        let b = HashFamilyKind::Pairwise.build(seed(2));
+        let diffs = (0..100u64)
+            .filter(|&x| a.hash_label(x) != b.hash_label(x))
+            .count();
+        assert!(diffs > 90);
+    }
+
+    #[test]
+    fn level_of_zero_hash_is_max() {
+        // Identity hash: label 0 hashes to 0 → MAX_LEVEL.
+        let h = HashFamilyKind::SabotagedIdentity.build(seed(0));
+        assert_eq!(h.level(0), MAX_LEVEL);
+    }
+
+    #[test]
+    fn level_matches_trailing_zeros() {
+        let h = HashFamilyKind::SabotagedIdentity.build(seed(0));
+        assert_eq!(h.level(1), 0);
+        assert_eq!(h.level(8), 3);
+        assert_eq!(h.level(96), 5);
+        assert_eq!(h.level(1 << 45), 45);
+    }
+
+    #[test]
+    fn level_is_capped() {
+        let h = HashFamilyKind::SabotagedIdentity.build(seed(0));
+        // 2^60 < p, has 60 trailing zeros.
+        assert_eq!(h.level(1 << 60), MAX_LEVEL);
+    }
+
+    #[test]
+    fn level_distribution_is_geometric() {
+        // Over 2^16 random labels, the count at level ≥ l should be close
+        // to n·2^-l for the sound families.
+        for kind in [HashFamilyKind::Pairwise, HashFamilyKind::Tabulation] {
+            let h = kind.build(seed(1234));
+            let n = 1u64 << 16;
+            let mut counts = [0u64; 12];
+            for i in 0..n {
+                let x = crate::mix::fold61(i);
+                let l = h.level(x).min(11);
+                for bucket in counts.iter_mut().take(l as usize + 1) {
+                    *bucket += 1;
+                }
+            }
+            for (l, &c) in counts.iter().enumerate().take(9) {
+                let expect = (n >> l) as f64;
+                let sd = expect.sqrt();
+                assert!(
+                    (c as f64 - expect).abs() < 6.0 * sd + 1.0,
+                    "{kind:?} level {l}: got {c}, expect {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sabotaged_shift_inflates_levels() {
+        let good = HashFamilyKind::Pairwise.build(seed(7));
+        let bad = HashFamilyKind::SabotagedShift(3).build(seed(7));
+        let n = 1u64 << 14;
+        let count_ge = |h: &HashFamily, l: u8| {
+            (0..n)
+                .filter(|&x| h.level(crate::mix::fold61(x)) >= l)
+                .count()
+        };
+        // At level 6, the shifted hash samples ~2^3 times more items.
+        let g = count_ge(&good, 6) as f64;
+        let b = count_ge(&bad, 6) as f64;
+        assert!(b > 4.0 * g, "good {g}, shifted {b}");
+    }
+
+    #[test]
+    fn level_probability_close_to_ideal() {
+        for l in 0..=40u8 {
+            let p = level_probability(l);
+            let ideal = 2f64.powi(-(l as i32));
+            assert!((p - ideal).abs() / ideal < 1e-6, "level {l}");
+        }
+        assert_eq!(level_probability(62), 0.0);
+    }
+}

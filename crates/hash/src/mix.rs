@@ -1,0 +1,150 @@
+//! Folding arbitrary 64-bit labels into the hashable universe `[0, 2^61 − 1)`.
+//!
+//! The pairwise-independence guarantees of [`crate::pairwise`] hold over the
+//! field `GF(p)`, `p = 2^61 − 1`, so the *native* label universe of every
+//! sketch in this workspace is `[0, p)`. That covers 61-bit identifiers
+//! (IPv4/port 5-tuples, compacted flow ids, database surrogate keys, …)
+//! directly. For labels that genuinely use all 64 bits — or for arbitrary
+//! `Hash` types — we fold through a fixed *bijective* 64-bit mixer and then
+//! truncate to 61 bits.
+//!
+//! Truncation makes labels `x` and `x'` collide iff
+//! `mix64(x) ≡ mix64(x') (mod 2^61)` — probability `≈ 2^-61` per pair under
+//! the mixer, i.e. a birthday bound of ~`k²/2^62` for `k` distinct labels.
+//! For `k = 10^9` that is < 2.2 × 10⁻⁴ — far below the sketch's own `ε`.
+//! This mirrors standard practice in production sketches (DataSketches folds
+//! arbitrary input through MurmurHash3 before the theta transform).
+
+/// SplitMix64 finalizer — a fixed, seedless, bijective mixer on `u64`.
+///
+/// Used only to *decorrelate label structure* (e.g. sequential ids) before
+/// truncation to the 61-bit universe; all probabilistic guarantees come from
+/// the seeded pairwise family applied afterwards. Being a bijection it never
+/// introduces collisions on its own.
+#[inline(always)]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Inverse of [`mix64`] (the finalizer is a bijection). Exposed for tests.
+pub fn unmix64(mut x: u64) -> u64 {
+    // Invert x ^= x >> 31 (also undoes the implicit >>62 part).
+    x ^= x >> 31;
+    x ^= x >> 62;
+    x = x.wrapping_mul(inv_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 27;
+    x ^= x >> 54;
+    x = x.wrapping_mul(inv_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 30;
+    x ^= x >> 60;
+    x.wrapping_sub(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Multiplicative inverse mod 2^64 of an odd constant (Newton's iteration).
+fn inv_mul(a: u64) -> u64 {
+    let mut x = a; // correct to 3 bits
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    x
+}
+
+/// Fold an arbitrary `u64` label into the sketch universe `[0, 2^61 − 1)`.
+///
+/// Labels already `< 2^61 − 1` that must round-trip exactly should be used
+/// directly instead (the sketches accept raw labels); `fold61` is for
+/// full-range or structured identifiers.
+#[inline(always)]
+pub fn fold61(x: u64) -> u64 {
+    // Truncate to 61 bits, then clamp the two out-of-field values onto
+    // in-field ones (2^61-1 and 2^61-2 ≡ p-1... both map below p).
+    let y = mix64(x) & ((1u64 << 61) - 1);
+    if y >= crate::field61::P61 {
+        y - crate::field61::P61
+    } else {
+        y
+    }
+}
+
+/// Fold any `Hash` value into the sketch universe via the default hasher
+/// followed by [`fold61`].
+///
+/// Convenience only: the std hasher is not seeded per-sketch, so this is a
+/// fixed (but high-quality) mapping, exactly analogous to pre-hashing input
+/// keys with MurmurHash in DataSketches.
+pub fn fold_label<T: std::hash::Hash>(value: &T) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    value.hash(&mut h);
+    fold61(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field61::P61;
+
+    #[test]
+    fn mix64_is_bijective_roundtrip() {
+        for x in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF, 1 << 63] {
+            assert_eq!(unmix64(mix64(x)), x, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn inv_mul_is_inverse() {
+        for a in [
+            0xBF58_476D_1CE4_E5B9u64,
+            0x94D0_49BB_1331_11EB,
+            3,
+            0xFFFF_FFFF_FFFF_FFFF,
+        ] {
+            assert_eq!(a.wrapping_mul(inv_mul(a)), 1);
+        }
+    }
+
+    #[test]
+    fn fold61_in_range() {
+        for x in 0u64..10_000 {
+            assert!(fold61(x) < P61);
+        }
+        assert!(fold61(u64::MAX) < P61);
+    }
+
+    #[test]
+    fn fold61_no_collisions_on_small_ranges() {
+        // Bijective mixer + 61-bit truncation: collisions in a 1e5 range
+        // would be a catastrophic bug, not bad luck (P ≈ 2e-9).
+        let mut seen = std::collections::HashSet::new();
+        for x in 0u64..100_000 {
+            assert!(seen.insert(fold61(x)), "collision at {x}");
+        }
+    }
+
+    #[test]
+    fn fold_label_stable_for_equal_values() {
+        assert_eq!(fold_label(&"10.0.0.1:443"), fold_label(&"10.0.0.1:443"));
+        assert_ne!(fold_label(&"10.0.0.1:443"), fold_label(&"10.0.0.2:443"));
+    }
+
+    #[test]
+    fn mix64_decorrelates_sequences() {
+        // Consecutive inputs should not share trailing-zero structure.
+        let mut level_ge_8 = 0;
+        let n = 1u64 << 16;
+        for x in 0..n {
+            if mix64(x).trailing_zeros() >= 8 {
+                level_ge_8 += 1;
+            }
+        }
+        let expect = (n >> 8) as f64;
+        let got = level_ge_8 as f64;
+        assert!(
+            (got - expect).abs() < 5.0 * expect.sqrt(),
+            "got {got}, expect {expect}"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Pairwise-independent (and k-wise independent) hash families over
+//! `GF(2^61 − 1)`.
+//!
+//! The affine family `h_{a,b}(x) = (a·x + b) mod p` with `a` uniform in
+//! `[1, p)` and `b` uniform in `[0, p)` is *strongly 2-universal*: for any
+//! distinct `x ≠ y` and any targets `u, v`,
+//! `Pr[h(x) = u ∧ h(y) = v] = 1 / (p(p−1)) ≈ 1/p²`.
+//! This is exactly the assumption under which the Gibbons–Tirthapura
+//! analysis bounds the variance of per-level sample counts; no stronger
+//! independence is needed for the `(ε, δ)` guarantee.
+//!
+//! The degree-`k` polynomial family `h(x) = Σ cᵢ xⁱ mod p` (`c_{k-1} ≠ 0`)
+//! is `k`-wise independent and is used by the E11 ablation to check whether
+//! extra independence buys measurable accuracy (it should not, per the
+//! paper's analysis).
+
+use crate::field61::{mul_add61, reduce64, P61};
+use crate::seeds::SeedRng;
+
+/// The strongly 2-universal affine family `x ↦ (a·x + b) mod p`.
+///
+/// ```
+/// use gt_hash::{Pairwise61, SeedRng};
+/// let h = Pairwise61::random(&mut SeedRng::from_seed(7));
+/// // Same seed on another machine: bit-identical function.
+/// let h2 = Pairwise61::random(&mut SeedRng::from_seed(7));
+/// assert_eq!(h.eval(12345), h2.eval(12345));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Pairwise61 {
+    a: u64,
+    b: u64,
+}
+
+impl Pairwise61 {
+    /// Draw a function uniformly from the family using the given seed RNG.
+    pub fn random(rng: &mut SeedRng) -> Self {
+        // a uniform in [1, p), b uniform in [0, p).
+        let a = rng.below(P61 - 1) + 1;
+        let b = rng.below(P61);
+        Pairwise61 { a, b }
+    }
+
+    /// Construct from explicit coefficients (reduced mod p; `a` forced ≠ 0).
+    ///
+    /// Used by tests and by deserialization paths that already validated
+    /// their inputs.
+    pub fn from_coefficients(a: u64, b: u64) -> Self {
+        let mut a = reduce64(a);
+        if a == 0 {
+            a = 1;
+        }
+        Pairwise61 { a, b: reduce64(b) }
+    }
+
+    /// The multiplier `a`.
+    pub fn a(&self) -> u64 {
+        self.a
+    }
+
+    /// The offset `b`.
+    pub fn b(&self) -> u64 {
+        self.b
+    }
+
+    /// Evaluate the hash. Input must lie in `[0, p)`; callers with raw
+    /// labels outside the field should fold first (`gt_hash::fold61`).
+    #[inline(always)]
+    pub fn eval(&self, x: u64) -> u64 {
+        debug_assert!(x < P61, "label outside the [0, 2^61-1) universe");
+        mul_add61(self.a, x, self.b)
+    }
+}
+
+/// A degree-`k` polynomial hash over `GF(2^61 − 1)`: `k`-wise independent.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Polynomial61 {
+    /// Coefficients `c₀ … c_{k−1}`, evaluated by Horner's rule; the leading
+    /// coefficient is kept non-zero so the polynomial has true degree k−1.
+    coeffs: Vec<u64>,
+}
+
+impl Polynomial61 {
+    /// Draw a uniformly random polynomial of independence `k ≥ 2`.
+    pub fn random(k: usize, rng: &mut SeedRng) -> Self {
+        assert!(k >= 2, "independence must be at least 2");
+        let mut coeffs: Vec<u64> = (0..k).map(|_| rng.below(P61)).collect();
+        let last = coeffs.last_mut().expect("k >= 2");
+        *last = rng.below(P61 - 1) + 1; // leading coefficient ≠ 0
+        Polynomial61 { coeffs }
+    }
+
+    /// The independence degree `k` of this function.
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluate by Horner's rule: `(((c_{k-1}·x + c_{k-2})·x + …)·x + c₀)`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        debug_assert!(x < P61, "label outside the [0, 2^61-1) universe");
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = mul_add61(acc, x, c);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::SeedRng;
+
+    fn rng(seed: u64) -> SeedRng {
+        SeedRng::from_seed(seed)
+    }
+
+    #[test]
+    fn affine_eval_matches_definition() {
+        let h = Pairwise61::from_coefficients(3, 7);
+        assert_eq!(h.eval(10), 37);
+        assert_eq!(h.eval(0), 7);
+        // Wraparound case: a·x + b just below/above p.
+        let h2 = Pairwise61::from_coefficients(1, P61 - 1);
+        assert_eq!(h2.eval(1), 0); // (1 + p-1) mod p
+        assert_eq!(h2.eval(2), 1);
+    }
+
+    #[test]
+    fn zero_multiplier_is_rejected() {
+        let h = Pairwise61::from_coefficients(0, 5);
+        assert_eq!(h.a(), 1);
+    }
+
+    #[test]
+    fn affine_coefficients_reduced() {
+        let h = Pairwise61::from_coefficients(u64::MAX, u64::MAX);
+        assert!(h.a() < P61 && h.b() < P61);
+    }
+
+    #[test]
+    fn random_draws_are_deterministic_per_seed() {
+        let h1 = Pairwise61::random(&mut rng(42));
+        let h2 = Pairwise61::random(&mut rng(42));
+        let h3 = Pairwise61::random(&mut rng(43));
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn affine_is_injective_on_the_field() {
+        // a ≠ 0 ⇒ x ↦ ax+b is a bijection of GF(p); spot check many inputs.
+        let h = Pairwise61::random(&mut rng(7));
+        let mut seen = std::collections::HashSet::new();
+        for x in 0u64..50_000 {
+            assert!(seen.insert(h.eval(x)));
+        }
+    }
+
+    #[test]
+    fn pairwise_collision_rate_is_near_ideal() {
+        // Over random functions, Pr[h(x)=h(y) mod 2^16] ≈ 2^-16 per pair.
+        let mut collisions = 0u64;
+        let trials = 400u64;
+        let pairs_per_trial = 1000u64;
+        for t in 0..trials {
+            let h = Pairwise61::random(&mut rng(1000 + t));
+            for i in 0..pairs_per_trial {
+                let (x, y) = (2 * i, 2 * i + 1);
+                if h.eval(x) & 0xFFFF == h.eval(y) & 0xFFFF {
+                    collisions += 1;
+                }
+            }
+        }
+        let total_pairs = (trials * pairs_per_trial) as f64;
+        let rate = collisions as f64 / total_pairs;
+        let ideal = 1.0 / 65536.0;
+        assert!(rate < 6.0 * ideal, "collision rate {rate} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn polynomial_degree_two_matches_affine_shape() {
+        let p = Polynomial61 { coeffs: vec![7, 3] }; // c0 + c1 x = 3x + 7
+        let h = Pairwise61::from_coefficients(3, 7);
+        for x in [0u64, 1, 99, P61 - 1] {
+            assert_eq!(p.eval(x), h.eval(x));
+        }
+    }
+
+    #[test]
+    fn polynomial_horner_matches_naive() {
+        let poly = Polynomial61::random(5, &mut rng(9));
+        for x in [0u64, 1, 12345, P61 - 2] {
+            let mut expect = 0u64;
+            let mut xp = 1u64;
+            for &c in &poly.coeffs {
+                expect = crate::field61::add61(expect, crate::field61::mul61(c, xp));
+                xp = crate::field61::mul61(xp, x);
+            }
+            assert_eq!(poly.eval(x), expect, "x = {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "independence must be at least 2")]
+    fn polynomial_rejects_k_below_two() {
+        Polynomial61::random(1, &mut rng(1));
+    }
+
+    #[test]
+    fn polynomial_leading_coefficient_nonzero() {
+        for s in 0..50 {
+            let p = Polynomial61::random(4, &mut rng(s));
+            assert_ne!(*p.coeffs.last().unwrap(), 0);
+        }
+    }
+}

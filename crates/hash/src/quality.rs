@@ -1,0 +1,278 @@
+//! Statistical quality harness for hash families.
+//!
+//! Shared by the crate's own unit tests and by the E11 ablation experiment,
+//! which prints these metrics side by side for every family (sound and
+//! sabotaged). All routines are deterministic given their inputs: label
+//! sets are supplied by the caller, so experiments can probe both random
+//! and adversarially structured universes.
+
+use crate::level::{LevelHasher, MAX_LEVEL};
+
+/// Result of a level-calibration measurement: for each level `l`, how far
+/// the observed fraction of labels with `lvl ≥ l` deviates from `2^{-l}`.
+#[derive(Clone, Debug)]
+pub struct LevelCalibration {
+    /// `observed[l]` = fraction of labels with level ≥ l.
+    pub observed: Vec<f64>,
+    /// `relative_error[l]` = |observed − 2^{-l}| / 2^{-l}.
+    pub relative_error: Vec<f64>,
+    /// Worst relative error over the measured levels.
+    pub max_relative_error: f64,
+}
+
+/// Measure how well a hasher's level distribution matches the geometric
+/// ideal, over levels `0..=max_level`, on the given label set.
+pub fn level_calibration<H: LevelHasher>(
+    hasher: &H,
+    labels: impl IntoIterator<Item = u64>,
+    max_level: u8,
+) -> LevelCalibration {
+    let max_level = max_level.min(MAX_LEVEL);
+    let mut ge_counts = vec![0u64; max_level as usize + 1];
+    let mut n = 0u64;
+    for x in labels {
+        n += 1;
+        let l = hasher.level(x).min(max_level);
+        for c in ge_counts.iter_mut().take(l as usize + 1) {
+            *c += 1;
+        }
+    }
+    assert!(n > 0, "label set must be non-empty");
+    let mut observed = Vec::with_capacity(ge_counts.len());
+    let mut relative_error = Vec::with_capacity(ge_counts.len());
+    let mut max_rel = 0f64;
+    for (l, &c) in ge_counts.iter().enumerate() {
+        let obs = c as f64 / n as f64;
+        let ideal = 2f64.powi(-(l as i32));
+        let rel = (obs - ideal).abs() / ideal;
+        observed.push(obs);
+        relative_error.push(rel);
+        max_rel = max_rel.max(rel);
+    }
+    LevelCalibration {
+        observed,
+        relative_error,
+        max_relative_error: max_rel,
+    }
+}
+
+/// Fraction of label pairs `(2i, 2i+1)` whose hashes collide in their low
+/// `bits` bits, averaged over nothing (single function) — compare against
+/// the ideal `2^{-bits}`.
+pub fn collision_rate<H: LevelHasher>(hasher: &H, pairs: u64, bits: u32) -> f64 {
+    assert!(bits > 0 && bits <= 61);
+    let mask = (1u64 << bits) - 1;
+    let mut collisions = 0u64;
+    for i in 0..pairs {
+        if hasher.hash_label(2 * i) & mask == hasher.hash_label(2 * i + 1) & mask {
+            collisions += 1;
+        }
+    }
+    collisions as f64 / pairs as f64
+}
+
+/// Per-bit bias of the hash output over a label set: for each of the low 61
+/// output bits, `|P(bit = 1) − 1/2|`. Returns the maximum over bits.
+pub fn max_bit_bias<H: LevelHasher>(hasher: &H, labels: impl IntoIterator<Item = u64>) -> f64 {
+    let mut ones = [0u64; 61];
+    let mut n = 0u64;
+    for x in labels {
+        n += 1;
+        let h = hasher.hash_label(x);
+        for (b, count) in ones.iter_mut().enumerate() {
+            *count += (h >> b) & 1;
+        }
+    }
+    assert!(n > 0, "label set must be non-empty");
+    ones.iter()
+        .map(|&c| (c as f64 / n as f64 - 0.5).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Pearson chi-square statistic of hash outputs bucketed into `2^bucket_bits`
+/// equal cells, over the given labels. For a uniform hash this should be
+/// near the number of cells (mean of the chi-square distribution with
+/// `cells − 1` degrees of freedom).
+pub fn chi_square<H: LevelHasher>(
+    hasher: &H,
+    labels: impl IntoIterator<Item = u64>,
+    bucket_bits: u32,
+) -> f64 {
+    assert!((1..=16).contains(&bucket_bits));
+    let cells = 1usize << bucket_bits;
+    let mut counts = vec![0u64; cells];
+    let mut n = 0u64;
+    for x in labels {
+        n += 1;
+        // Bucket by the *top* bits of the 61-bit output so the statistic is
+        // sensitive to non-uniformity that trailing-zero levels don't see.
+        let idx = (hasher.hash_label(x) >> (61 - bucket_bits)) as usize;
+        counts[idx.min(cells - 1)] += 1;
+    }
+    assert!(n > 0, "label set must be non-empty");
+    let expect = n as f64 / cells as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expect;
+            d * d / expect
+        })
+        .sum()
+}
+
+/// Strict-avalanche metric: flip each of the low `input_bits` input bits
+/// on a set of base labels and measure, for every (input bit, output bit)
+/// pair, the probability that the output bit flips. Ideal diffusion puts
+/// every pair at 0.5; returns the worst deviation `max |p − 0.5|`.
+///
+/// Affine field hashes fail this criterion structurally: flipping input
+/// bit `i` *adds* the constant `a·2^i mod p`, so the lowest output bit
+/// flips with probability exactly 0 or 1 (the constant's low bit), a
+/// deviation of 0.5. They are nonetheless perfectly sound for level
+/// sampling — the ablation prints this metric precisely to show that
+/// avalanche is the wrong soundness criterion for this algorithm;
+/// pairwise independence is the right one.
+pub fn worst_avalanche_bias<H: LevelHasher>(
+    hasher: &H,
+    bases: impl IntoIterator<Item = u64>,
+    input_bits: u32,
+) -> f64 {
+    assert!((1..=61).contains(&input_bits));
+    const OUT_BITS: usize = 61;
+    let mut flips = vec![0u64; input_bits as usize * OUT_BITS];
+    let mut n = 0u64;
+    for base in bases {
+        let base = base & ((1u64 << 61) - 2); // keep base + flip inside the field range
+        n += 1;
+        let h0 = hasher.hash_label(base % crate::field61::P61);
+        for bit in 0..input_bits {
+            let h1 = hasher.hash_label((base ^ (1u64 << bit)) % crate::field61::P61);
+            let mut delta = h0 ^ h1;
+            while delta != 0 {
+                let out_bit = delta.trailing_zeros() as usize;
+                delta &= delta - 1;
+                if out_bit < OUT_BITS {
+                    flips[bit as usize * OUT_BITS + out_bit] += 1;
+                }
+            }
+        }
+    }
+    assert!(n > 0, "label set must be non-empty");
+    flips
+        .iter()
+        .map(|&f| (f as f64 / n as f64 - 0.5).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Convenience: the label set `fold61(0..n)` — structured input made
+/// uniform-ish by the fixed mixer, the default universe for quality tests.
+pub fn mixed_labels(n: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(crate::mix::fold61)
+}
+
+/// Convenience: raw sequential labels `0..n` — the adversarial universe for
+/// saboteur demonstrations (structure survives into a weak hash).
+pub fn sequential_labels(n: u64) -> impl Iterator<Item = u64> {
+    0..n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::HashFamilyKind;
+    use crate::seeds::FamilySeed;
+
+    fn build(kind: HashFamilyKind, seed: u64) -> crate::level::HashFamily {
+        kind.build(FamilySeed(seed))
+    }
+
+    #[test]
+    fn sound_families_calibrate() {
+        for kind in [
+            HashFamilyKind::Pairwise,
+            HashFamilyKind::KWise(4),
+            HashFamilyKind::Tabulation,
+        ] {
+            let h = build(kind, 21);
+            let cal = level_calibration(&h, mixed_labels(1 << 15), 8);
+            assert!(
+                cal.max_relative_error < 0.15,
+                "{kind:?}: {:?}",
+                cal.relative_error
+            );
+        }
+    }
+
+    #[test]
+    fn shifted_saboteur_fails_calibration() {
+        let h = build(HashFamilyKind::SabotagedShift(3), 21);
+        let cal = level_calibration(&h, mixed_labels(1 << 14), 8);
+        // Levels 1..3 are inflated by up to 8x.
+        assert!(cal.max_relative_error > 1.0, "{:?}", cal.relative_error);
+    }
+
+    #[test]
+    fn identity_fails_on_sequential_but_not_random() {
+        let h = build(HashFamilyKind::SabotagedIdentity, 0);
+        // Sequential labels 0..n: the level distribution is *exactly*
+        // geometric (deterministically), so calibration alone cannot catch
+        // it — that is precisely why the ablation also measures per-seed
+        // variance. Here we check the chi-square of the top bits instead:
+        // sequential inputs occupy one corner of the output space.
+        let chi = chi_square(&h, sequential_labels(1 << 14), 8);
+        assert!(chi > 10.0 * 256.0, "chi {chi}"); // massively non-uniform
+    }
+
+    #[test]
+    fn pairwise_chi_square_is_sane() {
+        let h = build(HashFamilyKind::Pairwise, 33);
+        let chi = chi_square(&h, mixed_labels(1 << 14), 8);
+        // df = 255; mean 255, sd ≈ 22.6 — allow a generous band.
+        assert!(chi > 150.0 && chi < 400.0, "chi {chi}");
+    }
+
+    #[test]
+    fn bit_bias_small_for_sound_families() {
+        let h = build(HashFamilyKind::Pairwise, 44);
+        let bias = max_bit_bias(&h, mixed_labels(1 << 14));
+        assert!(bias < 0.03, "bias {bias}");
+    }
+
+    #[test]
+    fn collision_rate_near_ideal_for_pairwise() {
+        let h = build(HashFamilyKind::Pairwise, 55);
+        let rate = collision_rate(&h, 1 << 14, 12);
+        let ideal = 2f64.powi(-12);
+        assert!(rate < 5.0 * ideal + 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "label set must be non-empty")]
+    fn calibration_rejects_empty_input() {
+        let h = build(HashFamilyKind::Pairwise, 1);
+        level_calibration(&h, std::iter::empty(), 4);
+    }
+
+    #[test]
+    fn tabulation_avalanches_but_affine_does_not() {
+        // Tabulation: flipping input bit i XORs in one of 128 random
+        // byte-pair deltas → every (input, output) bit pair sits within
+        // sampling noise of 0.5 (worst pair ~0.2 over 61×16 pairs).
+        // Affine: the delta is the constant a·2^i mod p (occasionally
+        // shifted by p when the addition wraps), so low output bits are
+        // near-deterministic → worst-pair deviation ≈ 0.5. Both are sound
+        // for level sampling; the metric shows why avalanche is the wrong
+        // soundness criterion for this algorithm.
+        let bases: Vec<u64> = mixed_labels(2_000).collect();
+        let tab = build(HashFamilyKind::Tabulation, 5);
+        let aff = build(HashFamilyKind::Pairwise, 5);
+        let tab_bias = worst_avalanche_bias(&tab, bases.iter().copied(), 16);
+        let aff_bias = worst_avalanche_bias(&aff, bases.iter().copied(), 16);
+        assert!(tab_bias < 0.35, "tabulation bias {tab_bias}");
+        assert!(
+            aff_bias > 0.4,
+            "affine low bits near-deterministic: {aff_bias}"
+        );
+        assert!(tab_bias < aff_bias);
+    }
+}

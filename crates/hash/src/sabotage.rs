@@ -1,0 +1,116 @@
+//! Deliberately defective hash functions for the E11 ablation.
+//!
+//! The Gibbons–Tirthapura estimator is `|S| · 2^l`, which is unbiased
+//! *because* `Pr[lvl(x) ≥ l] = 2^{-l}` exactly under a pairwise-independent
+//! hash. These saboteurs each violate that premise in a controlled way so
+//! the experiment can show the failure mode, not just assert it:
+//!
+//! * [`Sabotaged::ShiftedLevels`] — left-shifts an otherwise good hash by
+//!   `k` bits, inflating every item's level by `k`: sampling probability at
+//!   level `l` becomes `2^{-(l-k)}`, so the estimate converges to `2^k · F₀`
+//!   (a clean, predictable multiplicative bias).
+//! * [`Sabotaged::LowEntropy`] — an affine hash whose multiplier has only a
+//!   few random bits, modelling an under-seeded generator; estimates become
+//!   seed-lottery dependent with huge variance.
+//! * [`Sabotaged::Identity`] — no hashing at all. On *random* labels this
+//!   accidentally works; on *sequential* labels the level structure is
+//!   deterministic and the per-trial "randomness" vanishes entirely (all
+//!   trials agree, so median boosting buys nothing and adversarial inputs
+//!   can place every label at level 0).
+
+use crate::field61::P61;
+use crate::pairwise::Pairwise61;
+use crate::seeds::SeedRng;
+
+/// A defective hash function (see module docs for the failure modes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Sabotaged {
+    /// Good hash shifted left by `k` — biases levels upward by exactly `k`.
+    ShiftedLevels {
+        /// The underlying (sound) affine hash.
+        inner: Pairwise61,
+        /// Bits of upward level bias.
+        k: u8,
+    },
+    /// Affine hash whose multiplier carries only 4 bits of entropy.
+    LowEntropy {
+        /// The (weak) affine hash actually used.
+        inner: Pairwise61,
+    },
+    /// `h(x) = x` — adversarially exploitable, zero per-seed variance.
+    Identity,
+}
+
+impl Sabotaged {
+    /// Build the shifted-levels saboteur.
+    pub fn shifted(k: u8, rng: &mut SeedRng) -> Self {
+        assert!(k <= 8, "shift beyond 8 bits makes levels saturate");
+        Sabotaged::ShiftedLevels {
+            inner: Pairwise61::random(rng),
+            k,
+        }
+    }
+
+    /// Build the low-entropy saboteur: multiplier drawn from a 16-element
+    /// set, offset fixed to zero.
+    pub fn low_entropy(rng: &mut SeedRng) -> Self {
+        let a = (rng.below(16) + 1) << 7; // 16 possible multipliers, all even
+        Sabotaged::LowEntropy {
+            inner: Pairwise61::from_coefficients(a, 0),
+        }
+    }
+
+    /// Evaluate; output stays within `[0, 2^61)` for comparability.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        match self {
+            Sabotaged::ShiftedLevels { inner, k } => (inner.eval(x) << k) & ((1u64 << 61) - 1),
+            Sabotaged::LowEntropy { inner } => inner.eval(x),
+            Sabotaged::Identity => x % P61,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::SeedRng;
+
+    #[test]
+    fn shifted_levels_raise_trailing_zeros() {
+        let mut rng = SeedRng::from_seed(2);
+        let Sabotaged::ShiftedLevels { inner, k } = Sabotaged::shifted(3, &mut rng) else {
+            panic!("wrong variant")
+        };
+        let s = Sabotaged::ShiftedLevels { inner, k };
+        for x in 1u64..100 {
+            let base = inner.eval(x);
+            if base != 0 && (base << 3) < (1 << 61) {
+                assert_eq!(s.eval(x).trailing_zeros(), base.trailing_zeros() + 3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shift beyond 8 bits")]
+    fn excessive_shift_rejected() {
+        Sabotaged::shifted(9, &mut SeedRng::from_seed(0));
+    }
+
+    #[test]
+    fn low_entropy_has_at_most_16_behaviours() {
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..200 {
+            let h = Sabotaged::low_entropy(&mut SeedRng::from_seed(s));
+            seen.insert(h.eval(123456));
+        }
+        assert!(seen.len() <= 16, "entropy leak: {} behaviours", seen.len());
+    }
+
+    #[test]
+    fn identity_passes_labels_through() {
+        let h = Sabotaged::Identity;
+        assert_eq!(h.eval(42), 42);
+        assert_eq!(h.eval(P61 + 5), 5); // folded into the field
+    }
+}

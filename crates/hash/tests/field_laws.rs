@@ -1,0 +1,105 @@
+//! Property tests: the `GF(2^61 − 1)` arithmetic must satisfy the field
+//! axioms, and the hash families must satisfy their family-level
+//! contracts, for *arbitrary* inputs — the unit tests check examples,
+//! these check the laws.
+
+use proptest::prelude::*;
+
+use gt_hash::field61::{add61, inv61, mul61, mul_add61, pow61, reduce128, reduce64, sub61, P61};
+use gt_hash::{FamilySeed, HashFamilyKind, LevelHasher, SeedRng};
+
+fn elem() -> impl Strategy<Value = u64> {
+    (0..P61).prop_map(|x| x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn reduction_is_canonical(x in any::<u64>()) {
+        let r = reduce64(x);
+        prop_assert!(r < P61);
+        prop_assert_eq!(r as u128, (x as u128) % (P61 as u128));
+    }
+
+    #[test]
+    fn reduction128_matches_wide_mod(x in any::<u128>()) {
+        // Constrain to the 122-bit range the kernels produce.
+        let x = x >> 6;
+        prop_assert_eq!(reduce128(x) as u128, x % (P61 as u128));
+    }
+
+    #[test]
+    fn addition_laws(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!(add61(a, b), add61(b, a));
+        prop_assert_eq!(add61(add61(a, b), c), add61(a, add61(b, c)));
+        prop_assert_eq!(add61(a, 0), a);
+        prop_assert_eq!(sub61(add61(a, b), b), a);
+    }
+
+    #[test]
+    fn multiplication_laws(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!(mul61(a, b), mul61(b, a));
+        prop_assert_eq!(mul61(mul61(a, b), c), mul61(a, mul61(b, c)));
+        prop_assert_eq!(mul61(a, 1), a);
+        // Distributivity.
+        prop_assert_eq!(mul61(a, add61(b, c)), add61(mul61(a, b), mul61(a, c)));
+        // Fused kernel agrees with the composition.
+        prop_assert_eq!(mul_add61(a, b, c), add61(mul61(a, b), c));
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in 1..P61) {
+        prop_assert_eq!(mul61(a, inv61(a)), 1);
+    }
+
+    #[test]
+    fn exponent_laws(a in 1..P61, e1 in 0u64..1_000, e2 in 0u64..1_000) {
+        prop_assert_eq!(
+            mul61(pow61(a, e1), pow61(a, e2)),
+            pow61(a, e1 + e2)
+        );
+    }
+
+    #[test]
+    fn mixer_is_injective_roundtrip(x in any::<u64>()) {
+        prop_assert_eq!(gt_hash::mix::unmix64(gt_hash::mix64(x)), x);
+    }
+
+    #[test]
+    fn seed_rng_below_is_in_range(seed in any::<u64>(), bound in 1u64..) {
+        prop_assert!(SeedRng::from_seed(seed).below(bound) < bound);
+    }
+
+    #[test]
+    fn every_family_is_deterministic_and_in_range(
+        seed in any::<u64>(),
+        x in 0..P61,
+        kind_idx in 0usize..4,
+    ) {
+        let kind = [
+            HashFamilyKind::Pairwise,
+            HashFamilyKind::KWise(3),
+            HashFamilyKind::MultiplyShift,
+            HashFamilyKind::Tabulation,
+        ][kind_idx];
+        let h1 = kind.build(FamilySeed(seed));
+        let h2 = kind.build(FamilySeed(seed));
+        let v = h1.hash_label(x);
+        prop_assert_eq!(v, h2.hash_label(x));
+        prop_assert!(v < (1u64 << 61));
+        prop_assert!(h1.level(x) <= gt_hash::MAX_LEVEL);
+    }
+
+    #[test]
+    fn affine_family_is_a_bijection(seed in any::<u64>(), x in 0..P61, y in 0..P61) {
+        prop_assume!(x != y);
+        let h = HashFamilyKind::Pairwise.build(FamilySeed(seed));
+        prop_assert_ne!(h.hash_label(x), h.hash_label(y));
+    }
+
+    #[test]
+    fn fold61_lands_in_field(x in any::<u64>()) {
+        prop_assert!(gt_hash::fold61(x) < P61);
+    }
+}

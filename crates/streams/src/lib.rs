@@ -1,0 +1,47 @@
+//! # gt-streams — the distributed-streams runtime
+//!
+//! The paper's execution model, as a testable substrate: `t` parties each
+//! observe their own stream in one pass, then send **one message** to a
+//! referee, who answers queries about the union. This crate provides
+//! everything around the sketch needed to *run* that model and measure it:
+//!
+//! * [`workload`] — synthetic stream generators with precise control over
+//!   the distinct-label structure (universe size, per-party overlap, skew,
+//!   duplication), standing in for the network-monitoring traces the
+//!   paper's setting assumes (substitution documented in DESIGN.md §6).
+//! * [`oracle`] — exact ground truth for any set of generated streams.
+//! * [`codec`] — a compact wire format for sketches (sorted, delta- and
+//!   LEB128-encoded samples) with byte-accurate accounting, so experiment
+//!   E9 measures real message sizes rather than `size_of` guesses.
+//! * [`party`] / [`referee`] — the two roles, as plain types.
+//! * [`runner`] — a multi-threaded scenario runner (one OS thread per
+//!   party, crossbeam channels to the referee) producing a
+//!   [`runner::ScenarioReport`] with estimates, ground truth, error, and
+//!   communication totals.
+//! * [`netflow`] — a flow-record (5-tuple) workload generator for the
+//!   paper's motivating network-monitoring domain.
+//! * [`topology`] — hierarchical (tree) aggregation of party messages
+//!   through intermediate collectors, exact at any depth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod faults;
+pub mod netflow;
+pub mod oracle;
+pub mod party;
+pub mod referee;
+pub mod runner;
+pub mod topology;
+pub mod workload;
+
+pub use codec::{decode_sketch, encode_sketch};
+pub use faults::{run_with_faults, FaultReport, FaultSpec, MessageFate};
+pub use netflow::{FlowRecord, FlowWorkload};
+pub use oracle::StreamOracle;
+pub use party::{Party, PartyMessage};
+pub use referee::Referee;
+pub use runner::{run_scenario, ScenarioReport};
+pub use topology::{aggregate_tree, HierarchicalReport};
+pub use workload::{Distribution, StreamSet, WorkloadSpec};

@@ -1,0 +1,155 @@
+//! Exact ground truth over generated streams.
+//!
+//! Experiments compare sketch output against exact answers computed here
+//! by brute force — independent of the closed-form workload formulas, so
+//! the two cross-check each other.
+
+use std::collections::HashMap;
+
+/// Exact statistics over a collection of streams (the union and each
+/// party), computed by full materialization. Memory is O(distinct), so
+/// this is for experiment harnesses, not production paths.
+#[derive(Clone, Debug, Default)]
+pub struct StreamOracle {
+    /// Distinct label → number of occurrences across all observed streams.
+    multiplicity: HashMap<u64, u64>,
+    /// Total items observed.
+    items: u64,
+}
+
+impl StreamOracle {
+    /// Empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one stream.
+    pub fn observe(&mut self, stream: &[u64]) {
+        for &l in stream {
+            *self.multiplicity.entry(l).or_insert(0) += 1;
+            self.items += 1;
+        }
+    }
+
+    /// Build from a set of streams.
+    pub fn of_streams<'a>(streams: impl IntoIterator<Item = &'a [u64]>) -> Self {
+        let mut o = Self::new();
+        for s in streams {
+            o.observe(s);
+        }
+        o
+    }
+
+    /// Exact distinct count of the union.
+    pub fn distinct(&self) -> u64 {
+        self.multiplicity.len() as u64
+    }
+
+    /// Total items (with duplicates).
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Average occurrences per distinct label.
+    pub fn duplication_factor(&self) -> f64 {
+        if self.multiplicity.is_empty() {
+            0.0
+        } else {
+            self.items as f64 / self.multiplicity.len() as f64
+        }
+    }
+
+    /// Exact `Σ value(x)` over distinct labels.
+    pub fn sum_distinct(&self, value: impl Fn(u64) -> u64) -> u64 {
+        self.multiplicity.keys().map(|&l| value(l)).sum()
+    }
+
+    /// Exact count of distinct labels satisfying a predicate.
+    pub fn distinct_where(&self, pred: impl Fn(u64) -> bool) -> u64 {
+        self.multiplicity.keys().filter(|&&l| pred(l)).count() as u64
+    }
+
+    /// Exact intersection size with another oracle's distinct set.
+    pub fn intersection(&self, other: &StreamOracle) -> u64 {
+        self.multiplicity
+            .keys()
+            .filter(|l| other.multiplicity.contains_key(l))
+            .count() as u64
+    }
+
+    /// Exact Jaccard similarity with another oracle's distinct set.
+    pub fn jaccard(&self, other: &StreamOracle) -> f64 {
+        let inter = self.intersection(other);
+        let union = self.distinct() + other.distinct() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Distribution, WorkloadSpec};
+
+    #[test]
+    fn counts_distinct_and_items() {
+        let mut o = StreamOracle::new();
+        o.observe(&[1, 2, 2, 3]);
+        o.observe(&[3, 4]);
+        assert_eq!(o.distinct(), 4);
+        assert_eq!(o.items(), 6);
+        assert_eq!(o.duplication_factor(), 1.5);
+    }
+
+    #[test]
+    fn empty_oracle() {
+        let o = StreamOracle::new();
+        assert_eq!(o.distinct(), 0);
+        assert_eq!(o.duplication_factor(), 0.0);
+        assert_eq!(o.sum_distinct(|_| 1), 0);
+    }
+
+    #[test]
+    fn sum_and_predicate() {
+        let o = StreamOracle::of_streams([[10u64, 20, 20, 30].as_slice()]);
+        assert_eq!(o.sum_distinct(|l| l), 60);
+        assert_eq!(o.distinct_where(|l| l >= 20), 2);
+    }
+
+    #[test]
+    fn set_relations() {
+        let a = StreamOracle::of_streams([[1u64, 2, 3].as_slice()]);
+        let b = StreamOracle::of_streams([[2u64, 3, 4, 5].as_slice()]);
+        assert_eq!(a.intersection(&b), 2);
+        assert!((a.jaccard(&b) - 2.0 / 5.0).abs() < 1e-12);
+        let empty = StreamOracle::new();
+        assert_eq!(empty.jaccard(&empty), 0.0);
+    }
+
+    #[test]
+    fn agrees_with_workload_closed_form() {
+        let spec = WorkloadSpec {
+            parties: 5,
+            distinct_per_party: 2_000,
+            overlap: 0.4,
+            items_per_party: 20_000,
+            distribution: Distribution::Uniform,
+            seed: 99,
+        };
+        let set = spec.generate();
+        let oracle = StreamOracle::of_streams(set.streams.iter().map(|s| s.as_slice()));
+        // Streams may not touch every universe label, so the oracle count
+        // is ≤ the closed form, but with 10× draws per label it should hit
+        // nearly all of them.
+        let truth = spec.true_union_distinct();
+        assert!(oracle.distinct() <= truth);
+        assert!(
+            oracle.distinct() as f64 > 0.98 * truth as f64,
+            "{} vs {truth}",
+            oracle.distinct()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! The party role: observe one stream, ship one message.
+//!
+//! A [`Party`] is deliberately thin — it owns a sketch, feeds it, and
+//! finalizes into a [`PartyMessage`] whose byte length *is* the party's
+//! total communication (the model allows no other traffic). The runner
+//! puts one of these on each thread.
+
+use bytes::Bytes;
+use gt_core::{DistinctSketch, SketchConfig};
+
+use crate::codec::encode_sketch;
+
+/// A finalized party transmission: everything a party ever sends.
+#[derive(Clone, Debug)]
+pub struct PartyMessage {
+    /// Which party sent it.
+    pub party_id: usize,
+    /// The encoded sketch.
+    pub payload: Bytes,
+    /// Items the party observed (diagnostics; also inside the payload).
+    pub items_observed: u64,
+}
+
+impl PartyMessage {
+    /// Total communication cost of this party, in bytes.
+    pub fn bytes(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// One stream observer in the distributed-streams model.
+#[derive(Clone, Debug)]
+pub struct Party {
+    id: usize,
+    sketch: DistinctSketch,
+}
+
+impl Party {
+    /// Create party `id`. The `(config, master_seed)` pair is the only
+    /// shared setup the model permits, distributed before streams begin.
+    pub fn new(id: usize, config: &SketchConfig, master_seed: u64) -> Self {
+        Party {
+            id,
+            sketch: DistinctSketch::new(config, master_seed),
+        }
+    }
+
+    /// This party's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Observe one label.
+    #[inline]
+    pub fn observe(&mut self, label: u64) {
+        self.sketch.insert(label);
+    }
+
+    /// Observe an entire stream.
+    pub fn observe_stream(&mut self, stream: &[u64]) {
+        self.sketch.extend_labels(stream.iter().copied());
+    }
+
+    /// Read access to the local sketch (e.g. for local-only estimates).
+    pub fn sketch(&self) -> &DistinctSketch {
+        &self.sketch
+    }
+
+    /// End of stream: encode and emit the single permitted message.
+    pub fn finish(self) -> PartyMessage {
+        let items_observed = self.sketch.items_observed();
+        PartyMessage {
+            party_id: self.id,
+            payload: encode_sketch(&self.sketch),
+            items_observed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SketchConfig {
+        SketchConfig::new(0.1, 0.1).unwrap()
+    }
+
+    #[test]
+    fn party_observes_and_finishes() {
+        let mut p = Party::new(3, &cfg(), 1);
+        p.observe_stream(&(0..500u64).map(gt_hash::fold61).collect::<Vec<_>>());
+        assert_eq!(p.id(), 3);
+        assert_eq!(p.sketch().estimate_distinct().value, 500.0);
+        let msg = p.finish();
+        assert_eq!(msg.party_id, 3);
+        assert_eq!(msg.items_observed, 500);
+        assert!(msg.bytes() > 0);
+    }
+
+    #[test]
+    fn message_size_independent_of_duplication() {
+        let labels: Vec<u64> = (0..1_000).map(gt_hash::fold61).collect();
+        let mut once = Party::new(0, &cfg(), 2);
+        once.observe_stream(&labels);
+        let mut many = Party::new(1, &cfg(), 2);
+        for _ in 0..50 {
+            many.observe_stream(&labels);
+        }
+        let b_once = once.finish().bytes();
+        let b_many = many.finish().bytes();
+        // Only the items_observed varint grows (few bytes per trial).
+        assert!(b_many < b_once + 3 * cfg().trials(), "{b_once} vs {b_many}");
+    }
+}

@@ -1,0 +1,135 @@
+//! The referee role: receive one message per party, answer queries about
+//! the union.
+//!
+//! The referee validates and decodes each message (rejecting anything
+//! uncoordinated or corrupt), merges it into its running union sketch, and
+//! keeps byte-level communication accounting for experiment E9.
+
+use gt_core::{DistinctSketch, Estimate, SketchConfig};
+
+use crate::codec::{decode_sketch, CodecError};
+use crate::party::PartyMessage;
+
+/// The central aggregator of the distributed-streams model.
+#[derive(Clone, Debug)]
+pub struct Referee {
+    master_seed: u64,
+    union: DistinctSketch,
+    messages: usize,
+    bytes_received: usize,
+    items_reported: u64,
+}
+
+impl Referee {
+    /// Create a referee expecting sketches built from `(config,
+    /// master_seed)`.
+    pub fn new(config: &SketchConfig, master_seed: u64) -> Self {
+        Referee {
+            master_seed,
+            union: DistinctSketch::new(config, master_seed),
+            messages: 0,
+            bytes_received: 0,
+            items_reported: 0,
+        }
+    }
+
+    /// Receive one party's message: decode, validate, union.
+    pub fn receive(&mut self, msg: &PartyMessage) -> Result<(), CodecError> {
+        let sketch: DistinctSketch = decode_sketch(msg.payload.clone())?;
+        if sketch.master_seed() != self.master_seed {
+            return Err(CodecError::Sketch(gt_core::SketchError::SeedMismatch));
+        }
+        self.union.merge_from(&sketch)?;
+        self.messages += 1;
+        self.bytes_received += msg.bytes();
+        self.items_reported += msg.items_observed;
+        Ok(())
+    }
+
+    /// `(ε, δ)`-estimate of the distinct labels in the union of all
+    /// received streams.
+    pub fn estimate_distinct(&self) -> Estimate {
+        self.union.estimate_distinct()
+    }
+
+    /// The merged union sketch (for similarity/predicate queries).
+    pub fn union_sketch(&self) -> &DistinctSketch {
+        &self.union
+    }
+
+    /// Messages received so far.
+    pub fn messages(&self) -> usize {
+        self.messages
+    }
+
+    /// Total bytes received — the scenario's entire communication cost.
+    pub fn bytes_received(&self) -> usize {
+        self.bytes_received
+    }
+
+    /// Total items the parties reported observing.
+    pub fn items_reported(&self) -> u64 {
+        self.items_reported
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::Party;
+
+    fn cfg() -> SketchConfig {
+        SketchConfig::new(0.1, 0.1).unwrap()
+    }
+
+    fn labels(range: std::ops::Range<u64>) -> Vec<u64> {
+        range.map(gt_hash::fold61).collect()
+    }
+
+    #[test]
+    fn referee_unions_party_messages() {
+        let config = cfg();
+        let mut referee = Referee::new(&config, 5);
+        for p in 0..4usize {
+            let mut party = Party::new(p, &config, 5);
+            // Overlapping ranges; union = [0, 250 + 150·3) = 700 labels,
+            // under the per-trial capacity so the union estimate is exact.
+            party.observe_stream(&labels(p as u64 * 150..p as u64 * 150 + 250));
+            referee.receive(&party.finish()).unwrap();
+        }
+        assert_eq!(referee.messages(), 4);
+        assert_eq!(referee.estimate_distinct().value, 700.0);
+        assert!(referee.bytes_received() > 0);
+        assert_eq!(referee.items_reported(), 4 * 250);
+    }
+
+    #[test]
+    fn referee_rejects_foreign_seeds() {
+        let config = cfg();
+        let mut referee = Referee::new(&config, 1);
+        let mut party = Party::new(0, &config, 2); // wrong seed
+        party.observe_stream(&labels(0..100));
+        assert!(referee.receive(&party.finish()).is_err());
+        assert_eq!(referee.messages(), 0);
+    }
+
+    #[test]
+    fn referee_rejects_corrupt_payloads() {
+        let config = cfg();
+        let mut referee = Referee::new(&config, 1);
+        let mut party = Party::new(0, &config, 1);
+        party.observe_stream(&labels(0..100));
+        let mut msg = party.finish();
+        let mut raw = msg.payload.to_vec();
+        raw.truncate(raw.len() / 2);
+        msg.payload = bytes::Bytes::from(raw);
+        assert!(referee.receive(&msg).is_err());
+    }
+
+    #[test]
+    fn empty_referee_estimates_zero() {
+        let referee = Referee::new(&cfg(), 9);
+        assert_eq!(referee.estimate_distinct().value, 0.0);
+        assert_eq!(referee.bytes_received(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Multi-threaded scenario runner: the full distributed-streams pipeline
+//! end to end.
+//!
+//! One OS thread per party observes its stream and sends its single
+//! end-of-stream [`PartyMessage`] over a crossbeam channel; the referee
+//! (on the caller's thread) merges messages as they arrive. Ground truth
+//! is computed by the oracle, and everything an experiment needs lands in
+//! one [`ScenarioReport`].
+
+use std::time::{Duration, Instant};
+
+use gt_core::SketchConfig;
+
+use crate::oracle::StreamOracle;
+use crate::party::{Party, PartyMessage};
+use crate::referee::Referee;
+use crate::workload::StreamSet;
+
+/// Everything measured in one scenario run.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// The sketch estimate of the union's distinct count.
+    pub estimate: f64,
+    /// Exact distinct count of the union.
+    pub truth: u64,
+    /// `|estimate − truth| / truth` (0 when both are 0).
+    pub relative_error: f64,
+    /// Number of parties.
+    pub parties: usize,
+    /// Total items across streams.
+    pub total_items: u64,
+    /// Bytes each party transmitted.
+    pub bytes_per_party: Vec<usize>,
+    /// Total communication (referee bytes received).
+    pub total_bytes: usize,
+    /// Wall time for the observation phase (slowest party).
+    pub observe_time: Duration,
+    /// Wall time for decode + union + estimate at the referee.
+    pub referee_time: Duration,
+}
+
+impl ScenarioReport {
+    /// Items per second across all parties during observation.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.observe_time.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_items as f64 / secs
+        }
+    }
+}
+
+/// Run a full scenario: parties on threads, referee on this thread.
+///
+/// ```
+/// use gt_core::SketchConfig;
+/// use gt_streams::{run_scenario, Distribution, WorkloadSpec};
+/// let spec = WorkloadSpec {
+///     parties: 4,
+///     distinct_per_party: 2_000,
+///     overlap: 0.5,
+///     items_per_party: 6_000,
+///     distribution: Distribution::Uniform,
+///     seed: 1,
+/// };
+/// let config = SketchConfig::new(0.1, 0.05).unwrap();
+/// let report = run_scenario(&config, 99, &spec.generate());
+/// assert!(report.relative_error < 0.1);
+/// assert_eq!(report.bytes_per_party.len(), 4);
+/// ```
+///
+/// # Panics
+/// Panics if a party thread panics or the referee rejects a message
+/// (both indicate bugs — the runner wires coordination correctly).
+pub fn run_scenario(
+    config: &SketchConfig,
+    master_seed: u64,
+    streams: &StreamSet,
+) -> ScenarioReport {
+    let t = streams.streams.len();
+    assert!(t > 0, "need at least one party");
+
+    let observe_start = Instant::now();
+    let (tx, rx) = crossbeam::channel::unbounded::<PartyMessage>();
+    crossbeam::scope(|scope| {
+        for (id, stream) in streams.streams.iter().enumerate() {
+            let tx = tx.clone();
+            scope.spawn(move |_| {
+                let mut party = Party::new(id, config, master_seed);
+                party.observe_stream(stream);
+                tx.send(party.finish()).expect("referee hung up");
+            });
+        }
+        drop(tx);
+    })
+    .expect("party thread panicked");
+    let observe_time = observe_start.elapsed();
+
+    let referee_start = Instant::now();
+    let mut referee = Referee::new(config, master_seed);
+    let mut bytes_per_party = vec![0usize; t];
+    while let Ok(msg) = rx.recv() {
+        bytes_per_party[msg.party_id] = msg.bytes();
+        referee
+            .receive(&msg)
+            .expect("coordinated message must decode");
+    }
+    let estimate = referee.estimate_distinct().value;
+    let referee_time = referee_start.elapsed();
+
+    let oracle = StreamOracle::of_streams(streams.streams.iter().map(|s| s.as_slice()));
+    let truth = oracle.distinct();
+    let relative_error = gt_core::relative_error(estimate, truth as f64);
+
+    ScenarioReport {
+        estimate,
+        truth,
+        relative_error,
+        parties: t,
+        total_items: streams.total_items(),
+        total_bytes: bytes_per_party.iter().sum(),
+        bytes_per_party,
+        observe_time,
+        referee_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Distribution, WorkloadSpec};
+
+    #[test]
+    fn end_to_end_scenario_is_accurate() {
+        let spec = WorkloadSpec {
+            parties: 6,
+            distinct_per_party: 5_000,
+            overlap: 0.5,
+            items_per_party: 25_000,
+            distribution: Distribution::Uniform,
+            seed: 11,
+        };
+        let streams = spec.generate();
+        let config = SketchConfig::new(0.1, 0.05).unwrap();
+        let report = run_scenario(&config, 77, &streams);
+        assert_eq!(report.parties, 6);
+        assert_eq!(report.total_items, 6 * 25_000);
+        assert!(report.relative_error < 0.1, "err {}", report.relative_error);
+        assert_eq!(report.bytes_per_party.len(), 6);
+        assert!(report.bytes_per_party.iter().all(|&b| b > 0));
+        assert_eq!(
+            report.total_bytes,
+            report.bytes_per_party.iter().sum::<usize>()
+        );
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn single_party_scenario() {
+        let spec = WorkloadSpec {
+            parties: 1,
+            distinct_per_party: 1_000,
+            overlap: 0.0,
+            items_per_party: 2_000,
+            distribution: Distribution::Uniform,
+            seed: 12,
+        };
+        let streams = spec.generate();
+        let config = SketchConfig::new(0.1, 0.1).unwrap();
+        let report = run_scenario(&config, 5, &streams);
+        assert_eq!(report.relative_error, 0.0); // under capacity → exact
+        assert_eq!(report.estimate, report.truth as f64);
+    }
+
+    #[test]
+    fn identical_streams_cost_no_extra_accuracy() {
+        // overlap = 1: every party sees the same universe; the union
+        // estimate must match a single party's estimate.
+        let spec = WorkloadSpec {
+            parties: 8,
+            distinct_per_party: 30_000,
+            overlap: 1.0,
+            items_per_party: 30_000,
+            distribution: Distribution::Uniform,
+            seed: 13,
+        };
+        let streams = spec.generate();
+        let config = SketchConfig::new(0.1, 0.05).unwrap();
+        let report = run_scenario(&config, 6, &streams);
+        assert!(report.relative_error < 0.1, "err {}", report.relative_error);
+        assert!(report.truth <= 30_000);
+    }
+}

@@ -1,0 +1,429 @@
+//! Synthetic distributed-stream workloads.
+//!
+//! The paper's motivating deployment is a set of network monitors, each
+//! seeing its own link's traffic, with flows (labels) partially shared
+//! across links. No public traces from that setting are usable here
+//! (substitution note in DESIGN.md §6), but the estimators under test
+//! depend *only* on the distinct-label structure of the streams — which
+//! this generator controls exactly:
+//!
+//! * **Universe structure** — each party's sub-universe is a `shared` block
+//!   common to *all* parties plus a private block, giving a tunable overlap
+//!   fraction. Ground truth is closed-form and also checked by the oracle.
+//! * **Skew** — items are drawn from the sub-universe uniformly or
+//!   Zipf(θ)-distributed (θ = 0 is uniform; θ ≈ 1 is classic web/flow
+//!   skew), so duplication within a stream is realistic and controllable.
+//! * **Length vs. distinct** — stream length is independent of universe
+//!   size: drawing 10⁶ items from 10⁴ labels gives a 100× duplication
+//!   factor, the regime where distinct counting diverges from counting.
+//!
+//! Determinism: every stream is a pure function of `(spec, party index)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How items are drawn from a party's sub-universe.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Distribution {
+    /// Uniform over the sub-universe.
+    Uniform,
+    /// Zipf with exponent `theta > 0` over the sub-universe (rank 1 is the
+    /// most frequent label). `theta = 0` degenerates to uniform.
+    Zipf(f64),
+    /// Each label of the sub-universe exactly once, in a fixed shuffled
+    /// order (stream length = sub-universe size; `items_per_party` is
+    /// ignored). The "every flow seen once" corner case.
+    EachOnce,
+}
+
+/// Full description of a multi-party workload.
+///
+/// ```
+/// use gt_streams::{Distribution, WorkloadSpec};
+/// let spec = WorkloadSpec {
+///     parties: 3,
+///     distinct_per_party: 1_000,
+///     overlap: 0.5,           // half of each party's labels are shared by all
+///     items_per_party: 5_000, // 5x duplication on average
+///     distribution: Distribution::Zipf(1.0),
+///     seed: 42,
+/// };
+/// assert_eq!(spec.true_union_distinct(), 500 + 3 * 500);
+/// let streams = spec.generate();
+/// assert_eq!(streams.streams.len(), 3);
+/// assert_eq!(streams.total_items(), 15_000);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of parties (streams).
+    pub parties: usize,
+    /// Distinct labels in each party's sub-universe.
+    pub distinct_per_party: u64,
+    /// Fraction of each party's sub-universe shared with **all** other
+    /// parties, in `[0, 1]`.
+    pub overlap: f64,
+    /// Items drawn per party (ignored by [`Distribution::EachOnce`]).
+    pub items_per_party: u64,
+    /// Draw distribution.
+    pub distribution: Distribution,
+    /// Workload seed (independent of sketch seeds).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A small sane default: 4 parties, 10k labels each, 25 % overlap,
+    /// 50k uniform items per party.
+    pub fn example() -> Self {
+        WorkloadSpec {
+            parties: 4,
+            distinct_per_party: 10_000,
+            overlap: 0.25,
+            items_per_party: 50_000,
+            distribution: Distribution::Uniform,
+            seed: 0xBEEF,
+        }
+    }
+
+    /// Number of labels shared by all parties.
+    pub fn shared_labels(&self) -> u64 {
+        (self.overlap.clamp(0.0, 1.0) * self.distinct_per_party as f64).round() as u64
+    }
+
+    /// Closed-form ground truth for the distinct count of the union.
+    pub fn true_union_distinct(&self) -> u64 {
+        let shared = self.shared_labels();
+        let private = self.distinct_per_party - shared;
+        shared + private * self.parties as u64
+    }
+
+    /// The sub-universe of party `p`, as a label iterator. Labels are
+    /// produced by folding structured ids, so they are spread over
+    /// `[0, 2^61 − 1)` and parties' shared blocks coincide exactly.
+    pub fn party_universe(&self, p: usize) -> impl Iterator<Item = u64> + '_ {
+        assert!(p < self.parties, "party index out of range");
+        let shared = self.shared_labels();
+        let private = self.distinct_per_party - shared;
+        let seed = self.seed;
+        let shared_iter = (0..shared).map(move |i| label_of(seed, 0, i));
+        let private_iter = (0..private).map(move |i| label_of(seed, 1 + p as u64, i));
+        shared_iter.chain(private_iter)
+    }
+
+    /// Generate party `p`'s stream.
+    pub fn party_stream(&self, p: usize) -> Vec<u64> {
+        assert!(p < self.parties, "party index out of range");
+        let universe: Vec<u64> = self.party_universe(p).collect();
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ gt_hash::mix64(0x57EA_4000 + p as u64));
+        match self.distribution {
+            Distribution::EachOnce => {
+                let mut v = universe;
+                // Fisher–Yates so observation order is not label order.
+                for i in (1..v.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    v.swap(i, j);
+                }
+                v
+            }
+            Distribution::Uniform => (0..self.items_per_party)
+                .map(|_| universe[rng.gen_range(0..universe.len())])
+                .collect(),
+            Distribution::Zipf(theta) if theta <= 0.0 => (0..self.items_per_party)
+                .map(|_| universe[rng.gen_range(0..universe.len())])
+                .collect(),
+            Distribution::Zipf(theta) => {
+                let zipf = ZipfSampler::new(universe.len() as u64, theta);
+                (0..self.items_per_party)
+                    .map(|_| universe[zipf.sample(&mut rng) as usize])
+                    .collect()
+            }
+        }
+    }
+
+    /// Generate all party streams.
+    pub fn generate(&self) -> StreamSet {
+        StreamSet {
+            streams: (0..self.parties).map(|p| self.party_stream(p)).collect(),
+            spec: *self,
+        }
+    }
+}
+
+/// Deterministic label construction: `(seed, block, index) → label`.
+/// Block 0 is the shared block; block `1+p` is party `p`'s private block.
+fn label_of(seed: u64, block: u64, index: u64) -> u64 {
+    gt_hash::fold61(gt_hash::mix64(seed ^ (block << 48)) ^ index)
+}
+
+/// The generated streams of a workload, plus the spec that made them.
+#[derive(Clone, Debug)]
+pub struct StreamSet {
+    /// One item vector per party.
+    pub streams: Vec<Vec<u64>>,
+    /// The generating spec.
+    pub spec: WorkloadSpec,
+}
+
+impl StreamSet {
+    /// Total items across parties.
+    pub fn total_items(&self) -> u64 {
+        self.streams.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Attach a deterministic value to every label (for SumDistinct
+    /// workloads): `value(x) = (x mod max_value) + 1 ∈ [1, max_value]`.
+    pub fn with_values(&self, max_value: u64) -> Vec<Vec<(u64, u64)>> {
+        assert!(max_value >= 1);
+        self.streams
+            .iter()
+            .map(|s| s.iter().map(|&l| (l, l % max_value + 1)).collect())
+            .collect()
+    }
+}
+
+/// Zipf(θ)-style sampler over ranks `[0, n)` via the inverse CDF of a
+/// *truncated continuous power law*: rank `i` receives probability
+/// `∫_{i+1}^{i+2} x^{-θ} dx / ∫_1^{n+1} x^{-θ} dx`.
+///
+/// The continuous model samples in O(1) for **any** θ > 0 (including the
+/// θ = 1 harmonic case, where the discrete "quick zipf" approximations
+/// break down) and matches the discrete Zipf law to within a few percent
+/// on every rank — entirely sufficient for workload synthesis, where only
+/// controllable skew matters. [`ZipfSampler::model_probability`] exposes
+/// the model's exact per-rank probabilities so tests can calibrate
+/// against the distribution actually being sampled.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+}
+
+impl ZipfSampler {
+    /// Build a sampler for ranks `[0, n)` with exponent `theta > 0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(theta > 0.0, "theta must be positive (use Uniform for 0)");
+        ZipfSampler { n, theta }
+    }
+
+    /// CDF mass of `[1, x]` under the (unnormalized) density `t^{-θ}`.
+    fn mass(&self, x: f64) -> f64 {
+        if (self.theta - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - self.theta) - 1.0) / (1.0 - self.theta)
+        }
+    }
+
+    /// Inverse of [`ZipfSampler::mass`].
+    fn inverse_mass(&self, m: f64) -> f64 {
+        if (self.theta - 1.0).abs() < 1e-9 {
+            m.exp()
+        } else {
+            (1.0 + (1.0 - self.theta) * m).powf(1.0 / (1.0 - self.theta))
+        }
+    }
+
+    /// Draw a rank in `[0, n)`; rank 0 is the most likely.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        let u: f64 = rng.gen();
+        let total = self.mass(self.n as f64 + 1.0);
+        let x = self.inverse_mass(u * total);
+        ((x - 1.0) as u64).min(self.n - 1)
+    }
+
+    /// The exponent θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability of rank `i` under the continuous model being sampled.
+    pub fn model_probability(&self, i: u64) -> f64 {
+        assert!(i < self.n);
+        let total = self.mass(self.n as f64 + 1.0);
+        (self.mass(i as f64 + 2.0) - self.mass(i as f64 + 1.0)) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn spec(overlap: f64, dist: Distribution) -> WorkloadSpec {
+        WorkloadSpec {
+            parties: 4,
+            distinct_per_party: 1_000,
+            overlap,
+            items_per_party: 5_000,
+            distribution: dist,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn ground_truth_formula_matches_oracle_counting() {
+        for overlap in [0.0, 0.25, 0.5, 1.0] {
+            let s = spec(overlap, Distribution::Uniform);
+            let mut all = HashSet::new();
+            for p in 0..s.parties {
+                all.extend(s.party_universe(p));
+            }
+            assert_eq!(
+                all.len() as u64,
+                s.true_union_distinct(),
+                "overlap {overlap}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_block_is_identical_across_parties() {
+        let s = spec(0.5, Distribution::Uniform);
+        let u0: HashSet<u64> = s.party_universe(0).collect();
+        let u1: HashSet<u64> = s.party_universe(1).collect();
+        let inter = u0.intersection(&u1).count() as u64;
+        assert_eq!(inter, s.shared_labels());
+    }
+
+    #[test]
+    fn full_overlap_means_identical_universes() {
+        let s = spec(1.0, Distribution::Uniform);
+        let u0: HashSet<u64> = s.party_universe(0).collect();
+        let u1: HashSet<u64> = s.party_universe(3).collect();
+        assert_eq!(u0, u1);
+        assert_eq!(s.true_union_distinct(), 1_000);
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let s = spec(0.3, Distribution::Uniform);
+        assert_eq!(s.party_stream(2), s.party_stream(2));
+        assert_ne!(s.party_stream(0), s.party_stream(1));
+    }
+
+    #[test]
+    fn stream_items_come_from_the_party_universe() {
+        let s = spec(0.25, Distribution::Zipf(1.0));
+        for p in 0..s.parties {
+            let universe: HashSet<u64> = s.party_universe(p).collect();
+            for &item in &s.party_stream(p) {
+                assert!(universe.contains(&item));
+            }
+        }
+    }
+
+    #[test]
+    fn each_once_covers_the_universe_exactly() {
+        let s = spec(0.25, Distribution::EachOnce);
+        let stream = s.party_stream(0);
+        assert_eq!(stream.len() as u64, s.distinct_per_party);
+        let set: HashSet<u64> = stream.iter().copied().collect();
+        assert_eq!(set.len() as u64, s.distinct_per_party);
+        let universe: HashSet<u64> = s.party_universe(0).collect();
+        assert_eq!(set, universe);
+    }
+
+    #[test]
+    fn generate_produces_all_parties() {
+        let set = spec(0.25, Distribution::Uniform).generate();
+        assert_eq!(set.streams.len(), 4);
+        assert_eq!(set.total_items(), 4 * 5_000);
+    }
+
+    #[test]
+    fn values_are_deterministic_per_label() {
+        let set = spec(0.0, Distribution::Uniform).generate();
+        let valued = set.with_values(10);
+        for (stream, vstream) in set.streams.iter().zip(valued.iter()) {
+            for (&l, &(vl, v)) in stream.iter().zip(vstream.iter()) {
+                assert_eq!(l, vl);
+                assert_eq!(v, l % 10 + 1);
+                assert!((1..=10).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_ranked() {
+        let z = ZipfSampler::new(1_000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = vec![0u64; 1_000];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Rank 0 should dominate rank 99 by roughly 100^θ = 100×.
+        assert!(
+            counts[0] > 20 * counts[99].max(1),
+            "c0 {} c99 {}",
+            counts[0],
+            counts[99]
+        );
+        // Top-rank frequency should match the continuous model.
+        let p0 = counts[0] as f64 / n as f64;
+        let model = z.model_probability(0);
+        assert!((p0 - model).abs() / model < 0.1, "p0 {p0} model {model}");
+    }
+
+    #[test]
+    fn zipf_empirical_matches_model_across_theta() {
+        for theta in [0.5, 1.0, 1.5, 2.0] {
+            let z = ZipfSampler::new(100, theta);
+            let mut rng = SmallRng::seed_from_u64(7);
+            let draws = 100_000;
+            let mut counts = vec![0u64; 100];
+            for _ in 0..draws {
+                counts[z.sample(&mut rng) as usize] += 1;
+            }
+            for rank in [0usize, 1, 9, 49] {
+                let emp = counts[rank] as f64 / draws as f64;
+                let model = z.model_probability(rank as u64);
+                let sd = (model * (1.0 - model) / draws as f64).sqrt();
+                assert!(
+                    (emp - model).abs() < 6.0 * sd + 1e-4,
+                    "theta {theta} rank {rank}: emp {emp} model {model}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_model_probabilities_sum_to_one() {
+        for theta in [0.5, 1.0, 2.0] {
+            let z = ZipfSampler::new(500, theta);
+            let total: f64 = (0..500).map(|i| z.model_probability(i)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "theta {theta}: {total}");
+        }
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        for theta in [0.5, 0.99, 1.0, 1.5, 2.5] {
+            let z = ZipfSampler::new(50, theta);
+            let mut rng = SmallRng::seed_from_u64(2);
+            for _ in 0..10_000 {
+                assert!(z.sample(&mut rng) < 50);
+            }
+        }
+        let z1 = ZipfSampler::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(z1.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn zipf_theta_zero_rejected() {
+        assert!(std::panic::catch_unwind(|| ZipfSampler::new(10, 0.0)).is_err());
+    }
+
+    #[test]
+    fn uniform_stream_duplication_factor_behaves() {
+        // 5000 draws from 1000 labels: expect ~993 distinct (coupon
+        // collector: 1000·(1 − (1 − 1/1000)^5000)).
+        let s = spec(0.0, Distribution::Uniform);
+        let distinct = s.party_stream(0).iter().collect::<HashSet<_>>().len();
+        assert!((950..=1_000).contains(&distinct), "distinct {distinct}");
+    }
+}

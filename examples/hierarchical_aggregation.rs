@@ -1,0 +1,86 @@
+//! Tree-structured collection: regional collectors between monitors and
+//! the root.
+//!
+//! A flat referee needs a message from every monitor; at ISP scale you
+//! aggregate per-PoP, then per-region, then globally. Coordinated
+//! sketches make every tier exact: the union of sketches IS a sketch, so
+//! intermediate collectors merge their children and forward one
+//! fixed-size message — per-link traffic never grows with fan-in, and the
+//! root's answer equals the flat answer bit for bit.
+//!
+//! Run with: `cargo run --release --example hierarchical_aggregation`
+
+use gt_sketch::streams::{aggregate_tree, FlowWorkload, Party, Referee};
+use gt_sketch::SketchConfig;
+
+fn main() {
+    // 64 link monitors, synthetic NetFlow-style traffic.
+    let workload = FlowWorkload {
+        monitors: 64,
+        flows_per_monitor: 10_000,
+        transit_fraction: 0.3,
+        records_per_monitor: 50_000,
+        skew: 1.1,
+        seed: 0x7EE,
+    };
+    let config = SketchConfig::new(0.1, 0.05).expect("valid config");
+    let master_seed = 0xAB5EED;
+
+    println!("generating traffic for {} monitors...", workload.monitors);
+    let streams = workload.generate();
+
+    // Every monitor sketches its own records and emits ONE message.
+    let messages: Vec<_> = streams
+        .iter()
+        .enumerate()
+        .map(|(id, records)| {
+            let mut party = Party::new(id, &config, master_seed);
+            for rec in records {
+                party.observe(rec.label());
+            }
+            party.finish()
+        })
+        .collect();
+    let msg_bytes = messages[0].bytes();
+
+    // Flat collection (every monitor talks to the root directly).
+    let mut flat = Referee::new(&config, master_seed);
+    for m in &messages {
+        flat.receive(m).expect("coordinated message");
+    }
+    println!(
+        "\nflat referee:  estimate {:.0}, root receives {} messages / {} bytes",
+        flat.estimate_distinct().value,
+        flat.messages(),
+        flat.bytes_received()
+    );
+
+    // Tree collection: monitors -> PoP collectors (fanout 8) -> root.
+    let report = aggregate_tree(&config, master_seed, messages, 8).expect("coordinated tree");
+    println!(
+        "\ntree (fanout 8): estimate {:.0}, {} tiers",
+        report.estimate.value, report.tiers
+    );
+    for (tier, (msgs, bytes)) in report
+        .messages_per_tier
+        .iter()
+        .zip(report.bytes_per_tier.iter())
+        .enumerate()
+    {
+        println!(
+            "  tier {tier}: {msgs:>3} messages, {bytes:>9} bytes total ({} bytes/message)",
+            bytes / msgs
+        );
+    }
+
+    println!(
+        "\nroot now receives {} messages instead of 64; every link carries ~{} bytes",
+        report.messages_per_tier[1], msg_bytes
+    );
+    assert_eq!(
+        report.estimate.value,
+        flat.estimate_distinct().value,
+        "tree aggregation must be lossless"
+    );
+    println!("tree answer == flat answer: verified");
+}

@@ -1,0 +1,53 @@
+//! Quick start: distinct counting over the union of two streams.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gt_sketch::{DistinctSketch, SketchConfig};
+
+fn main() {
+    // Accuracy contract: ±5% relative error with 99% confidence.
+    let config = SketchConfig::new(0.05, 0.01).expect("valid (eps, delta)");
+    println!(
+        "config: eps=5% delta=1% -> {} trials x {} sample slots = {} KiB ceiling",
+        config.trials(),
+        config.capacity(),
+        config.max_sample_entries() * 8 / 1024,
+    );
+
+    // The coordination token: every party must use the same master seed
+    // (and config). This is the ONLY setup the parties share.
+    let master_seed = 0xC0FFEE;
+
+    // Two independent observers (different machines, different threads —
+    // anything). Their streams overlap heavily and contain duplicates.
+    let mut site_a = DistinctSketch::new(&config, master_seed);
+    let mut site_b = DistinctSketch::new(&config, master_seed);
+
+    for label in 0u64..60_000 {
+        site_a.insert(label);
+        site_a.insert(label); // duplicates are free
+    }
+    for label in 40_000u64..100_000 {
+        site_b.insert(label);
+    }
+
+    // Local views.
+    println!("site A estimate: {}", site_a.estimate_distinct());
+    println!("site B estimate: {}", site_b.estimate_distinct());
+
+    // The union: lossless merge — exactly what one observer of both
+    // streams would hold. Truth is 100_000 distinct labels.
+    let union = site_a.merged(&site_b).expect("same config + seed");
+    let est = union.estimate_distinct();
+    println!("union estimate:  {est}");
+    println!(
+        "truth 100000, relative error {:.2}%",
+        (est.value - 100_000.0).abs() / 1_000.0
+    );
+
+    // Post-hoc analytics on the same sketch: predicate-restricted counts.
+    let even = union.estimate_distinct_where(|label| label % 2 == 0);
+    println!("distinct even labels: {even}");
+
+    assert!((est.value - 100_000.0).abs() < 5_000.0, "outside contract");
+}

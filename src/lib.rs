@@ -1,0 +1,58 @@
+//! # gt-sketch
+//!
+//! Coordinated-sampling sketches for **estimating simple functions on the
+//! union of data streams** — a from-scratch Rust implementation of
+//! Gibbons & Tirthapura (SPAA 2001), the algorithm that seeded today's
+//! KMV / Theta distinct-counting sketches.
+//!
+//! ## What you get
+//!
+//! * [`DistinctSketch`] — `(ε, δ)`-approximate distinct counting (F₀) in
+//!   `O(ε⁻² log(1/δ) log n)` space, **losslessly mergeable** across any
+//!   number of independent observers that share a seed.
+//! * [`SumDistinctSketch`] — duplicate-insensitive sums over distinct
+//!   labels.
+//! * Predicate-restricted counts ([`GtSketch::estimate_distinct_where`]),
+//!   distinct-label samples ([`DistinctSample`]), and two-stream
+//!   intersection / Jaccard estimation ([`similarity()`]).
+//! * [`ShardedSketch`] and [`parallel`] — multicore ingestion with
+//!   bit-identical results to sequential processing.
+//! * A full distributed-streams runtime ([`streams`]): parties, referee,
+//!   byte-counted wire codec, workload generators, scenario runner.
+//! * Baselines ([`baselines`]): exact, FM/PCSA, LogLog, linear counting,
+//!   KMV, reservoir sampling — behind one trait.
+//!
+//! ## Five-line quick start
+//!
+//! ```
+//! use gt_sketch::{DistinctSketch, SketchConfig};
+//! let config = SketchConfig::new(0.05, 0.01).unwrap();
+//! let (mut a, mut b) = (DistinctSketch::new(&config, 7), DistinctSketch::new(&config, 7));
+//! a.extend_labels(0..50_000);
+//! b.extend_labels(25_000..75_000);
+//! assert!((a.merged(&b).unwrap().estimate_distinct().value - 75_000.0).abs() < 3_750.0);
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios and DESIGN.md /
+//! EXPERIMENTS.md for the reproduction methodology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gt_core::{
+    compact, concurrent, error, estimate, harmonize, jaccard_matrix, median_f64, merge, merge_all,
+    parallel, params, predicate, quantile_f64, recency, relative_error, sample, similarity, sketch,
+    sumdistinct, trial, CoordinatedTrial, DistinctSample, DistinctSketch, Estimate, GtSketch,
+    InsertStats, LatestTs, Mergeable, Payload, RecencySketch, Result, ShardedSketch,
+    SimilarityEstimate, SketchConfig, SketchError, SumDistinctSketch, TrialInsert,
+};
+
+/// Hashing substrate: pairwise-independent families, levels, seeds.
+pub use gt_hash as hash;
+pub use gt_hash::{fold61, mix64, HashFamilyKind};
+
+/// Distributed-streams runtime: parties, referee, codec, workloads.
+pub use gt_streams as streams;
+
+/// Baseline distinct counters for comparison.
+pub use gt_baselines as baselines;

@@ -1,0 +1,155 @@
+//! Cross-crate contract tests for the baseline estimators: every mergeable
+//! baseline must be duplicate-insensitive and union-correct, and every
+//! estimator must be calibrated at scale — the preconditions for the E6
+//! comparison to be fair.
+
+use gt_sketch::baselines::{
+    DistinctCounter, ExactDistinct, HyperLogLog, KmvSketch, LinearCounter, LogLogSketch,
+    PcsaSketch, ReservoirSample,
+};
+use gt_sketch::{DistinctSketch, Mergeable, SketchConfig};
+
+fn labels(range: std::ops::Range<u64>) -> Vec<u64> {
+    range.map(gt_sketch::fold61).collect()
+}
+
+/// Generic calibration check at n = 100k.
+fn assert_calibrated<C: DistinctCounter>(mut c: C, tolerance: f64) {
+    let n = 100_000u64;
+    c.extend_labels(labels(0..n));
+    let rel = (c.estimate() - n as f64).abs() / n as f64;
+    assert!(
+        rel < tolerance,
+        "{}: estimate {} rel {rel}",
+        c.name(),
+        c.estimate()
+    );
+}
+
+#[test]
+fn all_estimators_are_calibrated_at_scale() {
+    assert_calibrated(ExactDistinct::new(), 1e-12);
+    assert_calibrated(PcsaSketch::new(256, 1), 0.2);
+    assert_calibrated(LogLogSketch::new(512, 2), 0.25);
+    assert_calibrated(HyperLogLog::new(1024, 6), 0.15);
+    assert_calibrated(LinearCounter::new(1 << 20, 3), 0.05);
+    assert_calibrated(KmvSketch::new(1024, 4), 0.15);
+    assert_calibrated(
+        DistinctSketch::new(&SketchConfig::new(0.1, 0.05).unwrap(), 5),
+        0.1,
+    );
+}
+
+/// Generic union check: merge(a, b) must equal one observer of both
+/// streams, estimator-exactly.
+fn assert_union_correct<C: DistinctCounter + Mergeable + Clone>(make: impl Fn() -> C) {
+    let (mut a, mut b, mut whole) = (make(), make(), make());
+    let la = labels(0..30_000);
+    let lb = labels(15_000..45_000);
+    a.extend_labels(la.iter().copied());
+    b.extend_labels(lb.iter().copied());
+    whole.extend_labels(la.iter().copied());
+    whole.extend_labels(lb.iter().copied());
+    a.merge_from(&b).unwrap();
+    assert_eq!(a.estimate(), whole.estimate(), "{} union broken", a.name());
+}
+
+#[test]
+fn mergeable_baselines_union_like_single_observers() {
+    assert_union_correct(ExactDistinct::new);
+    assert_union_correct(|| PcsaSketch::new(128, 7));
+    assert_union_correct(|| LogLogSketch::new(128, 8));
+    assert_union_correct(|| HyperLogLog::new(128, 18));
+    assert_union_correct(|| LinearCounter::new(1 << 18, 9));
+    assert_union_correct(|| KmvSketch::new(512, 10));
+    assert_union_correct(|| DistinctSketch::new(&SketchConfig::new(0.1, 0.1).unwrap(), 11));
+}
+
+/// Generic duplicate-insensitivity check.
+fn assert_duplicate_insensitive<C: DistinctCounter>(make: impl Fn() -> C) {
+    let (mut once, mut many) = (make(), make());
+    let l = labels(0..20_000);
+    once.extend_labels(l.iter().copied());
+    for _ in 0..5 {
+        many.extend_labels(l.iter().copied());
+    }
+    assert_eq!(once.estimate(), many.estimate(), "{}", once.name());
+}
+
+#[test]
+fn sketches_are_duplicate_insensitive_but_reservoir_is_not() {
+    assert_duplicate_insensitive(ExactDistinct::new);
+    assert_duplicate_insensitive(|| PcsaSketch::new(128, 12));
+    assert_duplicate_insensitive(|| LogLogSketch::new(128, 13));
+    assert_duplicate_insensitive(|| HyperLogLog::new(128, 19));
+    assert_duplicate_insensitive(|| LinearCounter::new(1 << 18, 14));
+    assert_duplicate_insensitive(|| KmvSketch::new(512, 15));
+    assert_duplicate_insensitive(|| DistinctSketch::new(&SketchConfig::new(0.1, 0.1).unwrap(), 16));
+
+    // The strawman: duplication inflates the naive reservoir estimate.
+    let l = labels(0..2_000);
+    let mut once = ReservoirSample::new(500, 17);
+    once.extend_labels(l.iter().copied());
+    let mut many = ReservoirSample::new(500, 17);
+    for _ in 0..20 {
+        many.extend_labels(l.iter().copied());
+    }
+    assert!(
+        many.estimate() > 5.0 * once.estimate(),
+        "naive reservoir should blow up: {} vs {}",
+        many.estimate(),
+        once.estimate()
+    );
+}
+
+#[test]
+fn equal_space_accuracy_ranking_is_sane() {
+    // At roughly equal space, every log-space sketch must beat the naive
+    // reservoir on a duplicate-heavy stream; this is the qualitative shape
+    // E6 quantifies.
+    let universe = labels(0..50_000);
+    let mut stream = Vec::with_capacity(500_000);
+    for i in 0..500_000usize {
+        stream.push(universe[(i * 7919) % universe.len()]);
+    }
+    let truth = 50_000.0;
+
+    let mut gt = DistinctSketch::new(
+        &SketchConfig::from_shape(0.1, 0.05, 512, 9, gt_sketch::HashFamilyKind::Pairwise).unwrap(),
+        20,
+    );
+    let mut kmv = KmvSketch::new(4096, 21);
+    let mut pcsa = PcsaSketch::new(4096, 22);
+    let mut res = ReservoirSample::new(4096, 23);
+    for &l in &stream {
+        DistinctCounter::insert(&mut gt, l);
+        kmv.insert(l);
+        pcsa.insert(l);
+        res.insert(l);
+    }
+    let rel = |e: f64| (e - truth).abs() / truth;
+    assert!(
+        rel(DistinctCounter::estimate(&gt)) < 0.15,
+        "gt {}",
+        DistinctCounter::estimate(&gt)
+    );
+    assert!(rel(kmv.estimate()) < 0.15, "kmv {}", kmv.estimate());
+    assert!(rel(pcsa.estimate()) < 0.25, "pcsa {}", pcsa.estimate());
+    assert!(
+        rel(res.estimate()) > 1.0,
+        "reservoir should be far off: {}",
+        res.estimate()
+    );
+}
+
+#[test]
+fn exact_oracle_agrees_with_streams_oracle() {
+    // Two independent ground-truth implementations must agree.
+    let l = labels(0..5_000);
+    let mut doubled = l.clone();
+    doubled.extend_from_slice(&l);
+    let mut exact = ExactDistinct::new();
+    exact.extend_labels(doubled.iter().copied());
+    let oracle = gt_sketch::streams::StreamOracle::of_streams([doubled.as_slice()]);
+    assert_eq!(exact.count(), oracle.distinct());
+}

@@ -1,0 +1,107 @@
+//! Integration tests for the extension features: sketch compaction /
+//! harmonization across heterogeneous parties, NetFlow workloads, and
+//! hierarchical aggregation — exercised together, end to end.
+
+use gt_sketch::streams::{aggregate_tree, FlowWorkload, Party, Referee, StreamOracle};
+use gt_sketch::{harmonize, DistinctSketch, HashFamilyKind, SketchConfig};
+
+#[test]
+fn heterogeneous_fleet_harmonizes_to_one_answer() {
+    // Three classes of observer with different budgets, same master seed.
+    let master = 0xF1EE7;
+    let shapes = [
+        SketchConfig::from_shape(0.05, 0.01, 4800, 9, HashFamilyKind::Pairwise).unwrap(),
+        SketchConfig::from_shape(0.1, 0.05, 1200, 9, HashFamilyKind::Pairwise).unwrap(),
+        SketchConfig::from_shape(0.2, 0.1, 300, 5, HashFamilyKind::Pairwise).unwrap(),
+    ];
+    let mut sketches: Vec<DistinctSketch> = Vec::new();
+    let mut oracle = StreamOracle::new();
+    for (i, cfg) in shapes.iter().enumerate() {
+        let stream: Vec<u64> = (0..20_000u64)
+            .map(|x| gt_sketch::fold61(x + i as u64 * 10_000))
+            .collect();
+        oracle.observe(&stream);
+        let mut s = DistinctSketch::new(cfg, master);
+        s.extend_labels(stream.iter().copied());
+        sketches.push(s);
+    }
+
+    // Fold the fleet down pairwise with harmonize.
+    let (mut acc, b) = harmonize(&sketches[0], &sketches[1]).unwrap();
+    acc.merge_from(&b).unwrap();
+    let (mut acc, c) = harmonize(&acc, &sketches[2]).unwrap();
+    acc.merge_from(&c).unwrap();
+
+    // Weakest shape governs the result.
+    assert_eq!(acc.config().capacity(), 300);
+    assert_eq!(acc.config().trials(), 5);
+    let truth = oracle.distinct() as f64;
+    let rel = (acc.estimate_distinct().value - truth).abs() / truth;
+    assert!(rel < 0.2, "rel {rel} (weakest shape eps = 0.2)");
+}
+
+#[test]
+fn netflow_end_to_end_through_tree_aggregation() {
+    let workload = FlowWorkload {
+        monitors: 12,
+        flows_per_monitor: 5_000,
+        transit_fraction: 0.4,
+        records_per_monitor: 25_000,
+        skew: 1.2,
+        seed: 0x1234,
+    };
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let master = 0x5EED01;
+
+    let streams = workload.generate();
+    let mut oracle = StreamOracle::new();
+    let messages: Vec<_> = streams
+        .iter()
+        .enumerate()
+        .map(|(id, recs)| {
+            let labels: Vec<u64> = recs.iter().map(|r| r.label()).collect();
+            oracle.observe(&labels);
+            let mut p = Party::new(id, &config, master);
+            p.observe_stream(&labels);
+            p.finish()
+        })
+        .collect();
+
+    let mut flat = Referee::new(&config, master);
+    for m in &messages {
+        flat.receive(m).unwrap();
+    }
+    let tree = aggregate_tree(&config, master, messages, 3).unwrap();
+
+    assert_eq!(tree.estimate.value, flat.estimate_distinct().value);
+    let truth = oracle.distinct() as f64;
+    let rel = (tree.estimate.value - truth).abs() / truth;
+    assert!(rel < 0.1, "rel {rel}");
+    // 12 -> 4 -> 2 -> 1 with fanout 3.
+    assert_eq!(tree.messages_per_tier, vec![12, 4, 2, 1]);
+}
+
+#[test]
+fn shrunk_edge_sketch_merges_into_datacenter_referee() {
+    // A datacenter party shrinks its high-budget sketch down to an edge
+    // shape before joining an edge-coordinated union.
+    let edge_cfg = SketchConfig::from_shape(0.2, 0.1, 256, 5, HashFamilyKind::Pairwise).unwrap();
+    let dc_cfg = SketchConfig::from_shape(0.05, 0.01, 4096, 9, HashFamilyKind::Pairwise).unwrap();
+    let master = 0x5EED02;
+
+    let mut edge = DistinctSketch::new(&edge_cfg, master);
+    edge.extend_labels((0..6_000u64).map(gt_sketch::fold61));
+    let mut dc = DistinctSketch::new(&dc_cfg, master);
+    dc.extend_labels((3_000..12_000u64).map(gt_sketch::fold61));
+
+    // Shape-shrinking alone keeps the DC's stated (eps, delta), so a
+    // direct merge is still (correctly) refused; harmonize reconciles the
+    // contract metadata too.
+    let dc_as_edge = dc.with_trials(5).unwrap().with_capacity(256).unwrap();
+    assert!(edge.merged(&dc_as_edge).is_err(), "stated contracts differ");
+    let (edge_h, dc_h) = harmonize(&edge, &dc_as_edge).unwrap();
+    let union = edge_h.merged(&dc_h).unwrap();
+    let truth = 12_000.0;
+    let rel = (union.estimate_distinct().value - truth).abs() / truth;
+    assert!(rel < 0.25, "rel {rel}");
+}

@@ -1,0 +1,165 @@
+//! End-to-end integration: workload generation → parties on threads →
+//! wire codec → referee → estimate, checked against the exact oracle.
+
+use gt_sketch::streams::{run_scenario, Distribution, StreamOracle, WorkloadSpec};
+use gt_sketch::SketchConfig;
+
+fn spec(parties: usize, overlap: f64, dist: Distribution) -> WorkloadSpec {
+    WorkloadSpec {
+        parties,
+        distinct_per_party: 20_000,
+        overlap,
+        items_per_party: 60_000,
+        distribution: dist,
+        seed: 0xFEED,
+    }
+}
+
+#[test]
+fn union_estimate_accurate_across_overlap_sweep() {
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    for overlap in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let streams = spec(6, overlap, Distribution::Uniform).generate();
+        let report = run_scenario(&config, 0xA1, &streams);
+        assert!(
+            report.relative_error < 0.1,
+            "overlap {overlap}: error {} (est {} truth {})",
+            report.relative_error,
+            report.estimate,
+            report.truth
+        );
+    }
+}
+
+#[test]
+fn accuracy_is_insensitive_to_skew() {
+    // F0 depends only on the distinct set; heavy skew changes duplication,
+    // not the answer. (EachOnce gives the same distinct set with zero
+    // duplication as Zipf(1.5) with heavy duplication.)
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let mut estimates = Vec::new();
+    for dist in [
+        Distribution::EachOnce,
+        Distribution::Uniform,
+        Distribution::Zipf(1.0),
+        Distribution::Zipf(1.5),
+    ] {
+        let streams = spec(4, 0.5, dist).generate();
+        let report = run_scenario(&config, 0xA2, &streams);
+        assert!(
+            report.relative_error < 0.1,
+            "{dist:?}: {}",
+            report.relative_error
+        );
+        estimates.push((dist, report.estimate, report.truth));
+    }
+    // All runs share seed + universe structure; the distinct sets differ
+    // only by which labels the draws happened to touch.
+    for (dist, est, truth) in estimates {
+        assert!(
+            (est - truth as f64).abs() / truth as f64 <= 0.1,
+            "{dist:?} drifted: est {est} truth {truth}"
+        );
+    }
+}
+
+#[test]
+fn communication_independent_of_stream_length() {
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let short = spec(4, 0.5, Distribution::Uniform);
+    let long = WorkloadSpec {
+        items_per_party: 600_000,
+        ..short
+    };
+    let r_short = run_scenario(&config, 0xA3, &short.generate());
+    let r_long = run_scenario(&config, 0xA3, &long.generate());
+    // 10× the items; bytes may differ only marginally (longer streams
+    // touch more of the universe and items_observed varints grow).
+    let ratio = r_long.total_bytes as f64 / r_short.total_bytes as f64;
+    assert!(
+        ratio < 1.25,
+        "bytes grew with stream length: {} -> {} ({ratio:.2}x)",
+        r_short.total_bytes,
+        r_long.total_bytes
+    );
+}
+
+#[test]
+fn per_party_space_is_logarithmic_in_stream_length() {
+    // The in-memory sample ceiling is fixed by the config alone.
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let ceiling = config.max_sample_entries();
+    for items in [10_000u64, 100_000, 1_000_000] {
+        let mut sketch = gt_sketch::DistinctSketch::new(&config, 1);
+        for i in 0..items {
+            sketch.insert(gt_sketch::fold61(i % 500_000));
+        }
+        assert!(sketch.sample_entries() <= ceiling, "items {items}");
+    }
+}
+
+#[test]
+fn naive_per_party_sum_overcounts_but_union_does_not() {
+    // The paper's headline comparison: Σ per-party F0 estimates vs the
+    // coordinated union, under full overlap.
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let streams = spec(8, 1.0, Distribution::Uniform).generate();
+    let oracle = StreamOracle::of_streams(streams.streams.iter().map(|s| s.as_slice()));
+    let truth = oracle.distinct() as f64;
+
+    let mut per_party_sum = 0.0;
+    for (i, s) in streams.streams.iter().enumerate() {
+        let mut sk = gt_sketch::DistinctSketch::new(&config, 0xA4 + i as u64);
+        sk.extend_labels(s.iter().copied());
+        per_party_sum += sk.estimate_distinct().value;
+    }
+    let report = run_scenario(&config, 0xA4, &streams);
+
+    assert!(
+        per_party_sum > 6.0 * truth,
+        "naive sum should ~8x overcount: {per_party_sum} vs {truth}"
+    );
+    assert!(
+        report.relative_error < 0.1,
+        "union error {}",
+        report.relative_error
+    );
+}
+
+#[test]
+fn referee_handles_hundreds_of_parties() {
+    let config = SketchConfig::new(0.15, 0.1).unwrap();
+    let streams = WorkloadSpec {
+        parties: 100,
+        distinct_per_party: 1_000,
+        overlap: 0.2,
+        items_per_party: 2_000,
+        distribution: Distribution::Uniform,
+        seed: 5,
+    }
+    .generate();
+    let report = run_scenario(&config, 0xA5, &streams);
+    assert_eq!(report.parties, 100);
+    assert!(
+        report.relative_error < 0.15,
+        "error {}",
+        report.relative_error
+    );
+}
+
+#[test]
+fn accuracy_contract_over_many_seeds() {
+    // (ε, δ) = (0.15, 0.2): over 25 master seeds at most a handful may
+    // exceed ε. With δ = 0.2 the expected failures are 5; allow 9 (a
+    // >3σ cushion) so the test is meaningful yet stable.
+    let config = SketchConfig::new(0.15, 0.2).unwrap();
+    let streams = spec(4, 0.3, Distribution::Uniform).generate();
+    let mut failures = 0;
+    for seed in 0..25u64 {
+        let report = run_scenario(&config, 0xB000 + seed, &streams);
+        if report.relative_error > 0.15 {
+            failures += 1;
+        }
+    }
+    assert!(failures <= 9, "{failures}/25 seeds exceeded epsilon");
+}

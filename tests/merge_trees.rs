@@ -1,0 +1,108 @@
+//! Property tests over *merge topologies*: however many parties exist,
+//! however their streams are split, and in whatever shape their sketches
+//! are combined (left fold, balanced tree, random tree), the final state
+//! must be identical — the algebraic heart of the distributed-streams
+//! model.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gt_sketch::{DistinctSketch, HashFamilyKind, SketchConfig};
+
+fn config() -> SketchConfig {
+    SketchConfig::from_shape(0.3, 0.3, 32, 5, HashFamilyKind::Pairwise).unwrap()
+}
+
+fn state(s: &DistinctSketch) -> Vec<(u8, Vec<u64>)> {
+    s.trials()
+        .iter()
+        .map(|t| {
+            let mut v: Vec<u64> = t.sample_iter().map(|(k, _)| k).collect();
+            v.sort_unstable();
+            (t.level(), v)
+        })
+        .collect()
+}
+
+/// Merge a list of sketches in a deterministic "random" tree shape driven
+/// by `shape_seed`: repeatedly pick two elements and replace them with
+/// their union.
+fn merge_random_tree(mut parts: Vec<DistinctSketch>, shape_seed: u64) -> DistinctSketch {
+    let mut state = shape_seed;
+    let mut next = move |bound: usize| -> usize {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize % bound
+    };
+    while parts.len() > 1 {
+        let i = next(parts.len());
+        let a = parts.swap_remove(i);
+        let j = next(parts.len());
+        let b = parts.swap_remove(j);
+        parts.push(a.merged(&b).expect("coordinated"));
+    }
+    parts.pop().expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_partition_and_any_merge_shape_agree(
+        items in vec(0u64..20_000, 1..600),
+        cuts in vec(0usize..600, 0..6),
+        shape_seed in 0u64..1_000,
+        master in 0u64..16,
+    ) {
+        // Partition `items` into contiguous party streams at `cuts`.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % items.len()).collect();
+        bounds.push(0);
+        bounds.push(items.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let parties: Vec<DistinctSketch> = bounds
+            .windows(2)
+            .map(|w| {
+                let mut s = DistinctSketch::new(&config(), master);
+                s.extend_labels(items[w[0]..w[1]].iter().map(|&x| gt_sketch::fold61(x)));
+                s
+            })
+            .collect();
+
+        // Reference: one observer of the whole stream.
+        let mut whole = DistinctSketch::new(&config(), master);
+        whole.extend_labels(items.iter().map(|&x| gt_sketch::fold61(x)));
+
+        // Left fold.
+        let mut fold = parties[0].clone();
+        for p in &parties[1..] {
+            fold.merge_from(p).unwrap();
+        }
+        prop_assert_eq!(state(&fold), state(&whole));
+
+        // Random tree shape.
+        let tree = merge_random_tree(parties, shape_seed);
+        prop_assert_eq!(state(&tree), state(&whole));
+    }
+
+    #[test]
+    fn re_merging_subsets_never_double_counts(
+        items in vec(0u64..5_000, 1..300),
+        master in 0u64..8,
+    ) {
+        // Overlapping party streams: every party sees a prefix of the
+        // whole stream (maximal re-observation). Union must equal the
+        // longest prefix's sketch.
+        let labels: Vec<u64> = items.iter().map(|&x| gt_sketch::fold61(x)).collect();
+        let mut parts = Vec::new();
+        for frac in [1usize, 2, 3, 4] {
+            let mut s = DistinctSketch::new(&config(), master);
+            s.extend_labels(labels[..labels.len() / frac].iter().copied());
+            parts.push(s);
+        }
+        let union = gt_sketch::merge_all(&parts).unwrap();
+        prop_assert_eq!(state(&union), state(&parts[0]));
+    }
+}

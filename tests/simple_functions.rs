@@ -1,0 +1,165 @@
+//! Integration tests for the "simple functions" beyond plain counting:
+//! SumDistinct, predicate restriction, fractions, similarity — all checked
+//! against the exact oracle on generated workloads.
+
+use gt_sketch::streams::{Distribution, StreamOracle, WorkloadSpec};
+use gt_sketch::{merge_all, similarity, DistinctSketch, SketchConfig, SumDistinctSketch};
+
+fn workload(parties: usize, overlap: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        parties,
+        distinct_per_party: 15_000,
+        overlap,
+        items_per_party: 50_000,
+        distribution: Distribution::Zipf(1.0),
+        seed: 0xF00D,
+    }
+}
+
+#[test]
+fn sumdistinct_across_parties_matches_oracle() {
+    let config = SketchConfig::new(0.05, 0.05).unwrap();
+    let set = workload(5, 0.4).generate();
+    let value_of = |l: u64| l % 10 + 1;
+
+    let sketches: Vec<SumDistinctSketch> = set
+        .streams
+        .iter()
+        .map(|s| {
+            let mut sk = SumDistinctSketch::new(&config, 0xC1);
+            for &l in s {
+                sk.insert(l, value_of(l));
+            }
+            sk
+        })
+        .collect();
+    let union = merge_all(&sketches).unwrap();
+
+    let oracle = StreamOracle::of_streams(set.streams.iter().map(|s| s.as_slice()));
+    let truth = oracle.sum_distinct(value_of) as f64;
+    let est = union.estimate_sum().value;
+    let rel = (est - truth).abs() / truth;
+    // Values in [1,10]: modest inflation over the base ε.
+    assert!(rel < 0.15, "sum est {est} truth {truth} rel {rel}");
+}
+
+#[test]
+fn predicate_counts_match_oracle() {
+    let config = SketchConfig::new(0.05, 0.05).unwrap();
+    let set = workload(4, 0.25).generate();
+    let mut union = DistinctSketch::new(&config, 0xC2);
+    for s in &set.streams {
+        union.extend_labels(s.iter().copied());
+    }
+    let oracle = StreamOracle::of_streams(set.streams.iter().map(|s| s.as_slice()));
+
+    for modulus in [2u64, 5, 16] {
+        let pred = move |l: u64| l % modulus == 0;
+        let est = union.estimate_distinct_where(pred).value;
+        let truth = oracle.distinct_where(pred) as f64;
+        let total = oracle.distinct() as f64;
+        // Additive guarantee: |est − truth| ≤ ε · F0(total).
+        assert!(
+            (est - truth).abs() <= 2.0 * 0.05 * total,
+            "mod {modulus}: est {est} truth {truth}"
+        );
+    }
+}
+
+#[test]
+fn fraction_estimator_tracks_population_share() {
+    let config = SketchConfig::new(0.05, 0.05).unwrap();
+    let set = workload(3, 0.0).generate();
+    let mut union = DistinctSketch::new(&config, 0xC3);
+    for s in &set.streams {
+        union.extend_labels(s.iter().copied());
+    }
+    let frac = union.estimate_fraction_where(|l| l % 4 != 0);
+    assert!((frac - 0.75).abs() < 0.05, "frac {frac}");
+}
+
+#[test]
+fn similarity_matches_oracle_on_generated_streams() {
+    let config = SketchConfig::new(0.05, 0.05).unwrap();
+    let set = workload(2, 0.5).generate();
+    let mut a = DistinctSketch::new(&config, 0xC4);
+    let mut b = DistinctSketch::new(&config, 0xC4);
+    a.extend_labels(set.streams[0].iter().copied());
+    b.extend_labels(set.streams[1].iter().copied());
+
+    let oa = StreamOracle::of_streams([set.streams[0].as_slice()]);
+    let ob = StreamOracle::of_streams([set.streams[1].as_slice()]);
+
+    let sim = similarity(&a, &b).unwrap();
+    let true_inter = oa.intersection(&ob) as f64;
+    let true_jaccard = oa.jaccard(&ob);
+
+    assert!(
+        (sim.intersection - true_inter).abs() / true_inter < 0.2,
+        "∩ est {} truth {true_inter}",
+        sim.intersection
+    );
+    assert!(
+        (sim.jaccard - true_jaccard).abs() < 0.05,
+        "J est {} truth {true_jaccard}",
+        sim.jaccard
+    );
+}
+
+#[test]
+fn distinct_sample_supports_posthoc_estimators() {
+    // Build a union sketch, pull the distinct sample, estimate an
+    // aggregate that was never designed into the sketch: the number of
+    // distinct labels whose value digit-sum is even.
+    let config = SketchConfig::new(0.05, 0.05).unwrap();
+    let set = workload(4, 0.3).generate();
+    let mut union = DistinctSketch::new(&config, 0xC5);
+    for s in &set.streams {
+        union.extend_labels(s.iter().copied());
+    }
+    let oracle = StreamOracle::of_streams(set.streams.iter().map(|s| s.as_slice()));
+
+    let digit_sum_even = |l: u64| {
+        let mut s = 0u64;
+        let mut x = l;
+        while x > 0 {
+            s += x % 10;
+            x /= 10;
+        }
+        s % 2 == 0
+    };
+
+    let sample = union.distinct_sample(0);
+    let est = sample.estimate_sum(|l| if digit_sum_even(l) { 1.0 } else { 0.0 });
+    let truth = oracle.distinct_where(digit_sum_even) as f64;
+    let rel = (est - truth).abs() / truth;
+    // Single-trial HT estimate: loose but must be in the ballpark.
+    assert!(rel < 0.3, "est {est} truth {truth} rel {rel}");
+}
+
+#[test]
+fn weighted_predicate_composition() {
+    // Σ value over distinct labels in a sub-population, across parties.
+    let config = SketchConfig::new(0.05, 0.05).unwrap();
+    let set = workload(3, 0.5).generate();
+    let value_of = |l: u64| l % 7 + 1;
+    let sketches: Vec<SumDistinctSketch> = set
+        .streams
+        .iter()
+        .map(|s| {
+            let mut sk = SumDistinctSketch::new(&config, 0xC6);
+            for &l in s {
+                sk.insert(l, value_of(l));
+            }
+            sk
+        })
+        .collect();
+    let union = merge_all(&sketches).unwrap();
+    let oracle = StreamOracle::of_streams(set.streams.iter().map(|s| s.as_slice()));
+
+    let pred = |l: u64| l % 3 == 0;
+    let est = union.inner().estimate_weighted_where(pred, |_, v| v as f64);
+    let truth: u64 = oracle.sum_distinct(|l| if pred(l) { value_of(l) } else { 0 });
+    let rel = (est - truth as f64).abs() / truth as f64;
+    assert!(rel < 0.2, "est {est} truth {truth} rel {rel}");
+}
