@@ -64,6 +64,12 @@ fn main() {
         }
         println!("[{} finished in {:.1?}]\n", exp.id, t0.elapsed());
     }
+
+    // Always close with the sketch-ops observability report so every run
+    // (including CI smoke) exercises the metrics layer end to end.
+    let report = gt_bench::stats::demo_scenario();
+    print!("{}", gt_bench::stats::render_stats(&report));
+    println!("  json: {}", gt_bench::stats::render_stats_json(&report));
 }
 
 fn print_usage() {

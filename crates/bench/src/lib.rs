@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod stats;
 pub mod table;
 
 /// Statistical summary of a sample of relative errors.

@@ -1,0 +1,261 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the benchmark API surface the workspace's `benches/` use —
+//! `criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Throughput`, `BenchmarkId` —
+//! backed by a simple wall-clock runner: each benchmark runs
+//! `sample_size` timed batches and prints min / median / mean per
+//! iteration (plus throughput when declared). No statistical analysis,
+//! HTML reports, or baseline comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement kinds (only wall time is supported).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    pub struct WallTime;
+}
+
+/// Declared work-per-iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (the group name supplies the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level benchmark driver; collects configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: PhantomData::<&mut Criterion>,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput declarations.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: PhantomData<&'a mut Criterion>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Declare how much work one iteration performs (reported as rate).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark with no externally supplied input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into(), |b| f(b));
+        self
+    }
+
+    /// Run a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iters: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let label = format!("{}/{}", self.name, id.id);
+        if samples.is_empty() {
+            println!("{label}: no iterations recorded");
+            return;
+        }
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(" ({:.3e} elem/s)", n as f64 / median),
+            Some(Throughput::Bytes(n)) => format!(" ({:.3e} B/s)", n as f64 / median),
+            None => String::new(),
+        };
+        println!(
+            "{label}: min {} median {} mean {}{rate}",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean)
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3}s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3}ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3}µs", seconds * 1e6)
+    } else {
+        format!("{:.1}ns", seconds * 1e9)
+    }
+}
+
+/// Times closures; passed to every benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `f` (one batch per sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Define a benchmark group entry point (named-config and positional forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(c: &mut Criterion) {
+        let mut group = c.benchmark_group("squares");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("direct", |b| b.iter(|| black_box(7u64) * 7));
+        group.bench_with_input(BenchmarkId::from_parameter(9u64), &9u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.finish();
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = square
+    );
+
+    #[test]
+    fn group_runs_without_panicking() {
+        benches();
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Built on std: [`scope`] wraps `std::thread::scope` (returning
+//! `thread::Result` like crossbeam does, with child panics surfacing as
+//! `Err` rather than unwinding), [`channel::unbounded`] wraps
+//! `std::sync::mpsc::channel`, and [`utils::CachePadded`] is an alignment
+//! wrapper. Only the surface the workspace uses is provided.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread handle namespace (mirrors `crossbeam::thread`).
+pub mod thread {
+    /// A scope for spawning borrowing threads; passed to the [`super::scope`]
+    /// closure and to every spawned child closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread; joinable for its result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. Crossbeam passes the scope
+        /// back into the child closure so children can themselves spawn.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+}
+
+/// Run `f` with a thread scope. All spawned threads are joined before this
+/// returns. Returns `Err` if any unjoined child (or `f` itself) panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: FnOnce(&thread::Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&thread::Scope { inner: s }))
+    }))
+}
+
+/// MPMC-ish channels (mirrors `crossbeam::channel` for the unbounded,
+/// single-consumer usage in this workspace).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Utility types (mirrors `crossbeam::utils`).
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so adjacent values never share
+    /// a cache line (matches crossbeam's x86_64 alignment).
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wrap `value`.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwrap into the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("child panicked"))
+                .sum::<u64>()
+        })
+        .expect("scope panicked");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_is_an_err() {
+        let out = scope(|s| {
+            let _ = s.spawn(|_| panic!("boom"));
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21u64).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .expect("scope panicked");
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn channel_fifo() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn cache_padded_alignment() {
+        let padded = utils::CachePadded::new(3u8);
+        assert_eq!(*padded, 3);
+        assert_eq!(std::mem::align_of_val(&padded), 128);
+    }
+}

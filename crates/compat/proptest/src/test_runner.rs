@@ -1,0 +1,170 @@
+//! Case execution: a deterministic runner with rejection support.
+
+use crate::strategy::Strategy;
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's preconditions (`prop_assume!`) did not hold; try another.
+    Reject(String),
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic case-generation RNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor; identical seeds generate identical case streams.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Executes a property over many generated cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Runner with the given config.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Run `test` on `config.cases` accepted cases drawn from `strategy`.
+    /// Panics (failing the enclosing `#[test]`) on the first failure,
+    /// printing the generated input since there is no shrinking.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        // Fixed seed: failures reproduce exactly on re-run.
+        let mut rng = TestRng::from_seed(0xC0FF_EE00_5EED_1234);
+        let mut accepted = 0u32;
+        let mut attempts = 0u64;
+        let max_attempts = u64::from(self.config.cases).saturating_mul(64).max(4096);
+        while accepted < self.config.cases {
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "gave up after {attempts} attempts: only {accepted}/{} cases \
+                 passed the prop_assume! filters",
+                self.config.cases
+            );
+            let value = strategy.generate(&mut rng);
+            let shown = format!("{value:?}");
+            match test(value) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest case #{} failed: {}\n  input: {}",
+                    accepted + 1,
+                    msg,
+                    shown
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..=4, mut z in 1u64.., w in any::<u8>()) {
+            z = z.wrapping_add(0); // exercise the `mut` binding form
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!(z >= 1);
+            let _ = w;
+        }
+
+        #[test]
+        fn assume_filters(v in 0u64..10, _pad in crate::collection::vec(0u64..5, 0..3)) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_all_arms() {
+        let strat = prop_oneof![
+            4 => (0u64..10, 0u64..10).prop_map(|(a, b)| a + b),
+            1 => Just(999u64),
+        ];
+        let mut rng = crate::test_runner::TestRng::from_seed(9);
+        let mut saw_sum = false;
+        let mut saw_just = false;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                999 => saw_just = true,
+                v => {
+                    assert!(v < 19);
+                    saw_sum = true;
+                }
+            }
+        }
+        assert!(saw_sum && saw_just);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case #")]
+    fn failures_panic_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+        runner.run(&(0u64..100,), |(x,)| {
+            prop_assert!(x < 2, "x was {}", x);
+            Ok(())
+        });
+    }
+}

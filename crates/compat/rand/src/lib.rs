@@ -1,0 +1,225 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the (small) slice of the rand API the workspace actually uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen`, `gen_range` (half-open and inclusive integer ranges),
+//! and `gen_bool`. The generator is xoroshiro128+ seeded via SplitMix64 —
+//! deterministic for a given seed, statistically solid for workload
+//! synthesis and fault injection (its only jobs here), and explicitly
+//! **not** the upstream `SmallRng` stream (seeds produce different
+//! sequences than rand 0.8 would).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Minimal core RNG interface: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Derive a full RNG state from a single `u64` via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Values samplable uniformly from all bits ("standard" distribution).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (mirrors `rand::distributions::
+/// uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one value in the range; panics on an empty range, matching
+    /// upstream rand.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "cannot sample empty range");
+                ((self.start as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                let span = (end as i128) - (start as i128) + 1;
+                assert!(span > 0, "cannot sample empty range");
+                ((start as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing RNG extension methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value of type `T` from the standard distribution.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draw a value uniformly from `range`. Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to [0, 1]).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named RNG implementations.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG (xoroshiro128+).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s0: u64,
+        s1: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s0 = splitmix64(&mut sm);
+            let mut s1 = splitmix64(&mut sm);
+            if s0 == 0 && s1 == 0 {
+                s1 = 0x9E37_79B9_7F4A_7C15; // xoroshiro state must be nonzero
+            }
+            SmallRng { s0, s1 }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let (s0, mut s1) = (self.s0, self.s1);
+            let result = s0.wrapping_add(s1);
+            s1 ^= s0;
+            self.s0 = s0.rotate_left(24) ^ s1 ^ (s1 << 16);
+            self.s1 = s1.rotate_left(37);
+            result
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_per_seed() {
+            let mut a = SmallRng::seed_from_u64(42);
+            let mut b = SmallRng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+            let mut c = SmallRng::seed_from_u64(43);
+            assert_ne!(a.next_u64(), c.next_u64());
+        }
+
+        #[test]
+        fn gen_range_respects_bounds() {
+            let mut rng = SmallRng::seed_from_u64(7);
+            for _ in 0..10_000 {
+                let x = rng.gen_range(4usize..17);
+                assert!((4..17).contains(&x));
+                let y = rng.gen_range(0u64..=3);
+                assert!(y <= 3);
+                let z: f64 = rng.gen();
+                assert!((0.0..1.0).contains(&z));
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "empty range")]
+        fn empty_range_panics() {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let _ = rng.gen_range(4usize..4);
+        }
+
+        #[test]
+        fn gen_bool_tracks_probability() {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+            assert!((20_000..30_000).contains(&hits), "hits {hits}");
+            assert_eq!((0..100).filter(|_| rng.gen_bool(0.0)).count(), 0);
+            let mut rng = SmallRng::seed_from_u64(12);
+            assert_eq!((0..100).filter(|_| rng.gen_bool(1.0)).count(), 100);
+        }
+    }
+}

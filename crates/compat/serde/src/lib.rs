@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so
+//! `#[derive(serde::Serialize, serde::Deserialize)]` positions across the
+//! workspace keep compiling without registry access. See
+//! `serde_derive/src/lib.rs` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

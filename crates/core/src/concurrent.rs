@@ -86,10 +86,23 @@ impl ShardedSketch {
         self.shards[shard].lock().insert(label);
     }
 
-    /// Observe a batch, grouping locks per shard run to cut lock traffic.
+    /// Observe a batch, grouping locks per shard run to cut lock traffic:
+    /// consecutive labels that map to the same shard are ingested under
+    /// one lock acquisition instead of one per label. Equivalent to
+    /// per-item [`ShardedSketch::insert`] (each shard sees its labels in
+    /// the same order either way).
     pub fn extend_labels(&self, labels: impl IntoIterator<Item = u64>) {
+        let mut run: Option<(usize, parking_lot::MutexGuard<'_, DistinctSketch>)> = None;
         for label in labels {
-            self.insert(label);
+            let shard = self.shard_of(label);
+            match &mut run {
+                Some((held, guard)) if *held == shard => guard.insert(label),
+                _ => {
+                    let mut guard = self.shards[shard].lock();
+                    guard.insert(label);
+                    run = Some((shard, guard));
+                }
+            }
         }
     }
 
@@ -108,6 +121,16 @@ impl ShardedSketch {
     /// Total items observed across shards.
     pub fn items_observed(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().items_observed()).sum()
+    }
+
+    /// Aggregated observability counters: the field-wise sum of every
+    /// shard's [`crate::metrics::MetricsSnapshot`].
+    pub fn metrics_snapshot(&self) -> crate::metrics::MetricsSnapshot {
+        let mut total = crate::metrics::MetricsSnapshot::default();
+        for shard in &self.shards {
+            total.absorb(&shard.lock().metrics_snapshot());
+        }
+        total
     }
 }
 
@@ -189,6 +212,45 @@ mod tests {
         })
         .unwrap();
         assert_eq!(sharded.estimate_distinct().unwrap().value, 1_000.0);
+    }
+
+    #[test]
+    fn batched_extend_equals_per_item_insert() {
+        // The run-grouped lock path must produce exactly the state the
+        // per-item path does, including on shard-ping-pong orderings.
+        let batched = ShardedSketch::new(&cfg(), 15, 8);
+        let per_item = ShardedSketch::new(&cfg(), 15, 8);
+        // Interleave two ranges so consecutive labels rarely share a shard,
+        // then append a sorted run so same-shard runs also occur.
+        let mut labels: Vec<u64> = (0..5_000u64)
+            .flat_map(|i| [gt_hash::fold61(i), gt_hash::fold61(i + 100_000)])
+            .collect();
+        labels.extend((0..2_000u64).map(gt_hash::fold61));
+        batched.extend_labels(labels.iter().copied());
+        for &l in &labels {
+            per_item.insert(l);
+        }
+        let a = batched.snapshot().unwrap();
+        let b = per_item.snapshot().unwrap();
+        assert_eq!(a.estimate_distinct().value, b.estimate_distinct().value);
+        assert_eq!(a.sample_entries(), b.sample_entries());
+        assert_eq!(batched.items_observed(), per_item.items_observed());
+        assert_eq!(batched.metrics_snapshot(), per_item.metrics_snapshot());
+    }
+
+    #[test]
+    fn metrics_aggregate_across_shards() {
+        let sharded = ShardedSketch::new(&cfg(), 16, 4);
+        sharded.extend_labels((0..1_000).map(gt_hash::fold61));
+        let snap = sharded.metrics_snapshot();
+        let trials = cfg().trials() as u64;
+        // Every label records one outcome per trial on exactly one shard.
+        assert_eq!(snap.trial_inserts(), 1_000 * trials);
+        assert_eq!(snap.merge_calls, 0);
+        // The referee-side snapshot records its merges on the snapshot
+        // sketch, not the shards.
+        let _ = sharded.snapshot().unwrap();
+        assert_eq!(sharded.metrics_snapshot().merge_calls, 0);
     }
 
     #[test]

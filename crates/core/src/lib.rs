@@ -47,6 +47,7 @@ pub mod concurrent;
 pub mod error;
 pub mod estimate;
 pub mod merge;
+pub mod metrics;
 pub mod parallel;
 pub mod params;
 pub mod predicate;
@@ -64,11 +65,12 @@ pub use concurrent::ShardedSketch;
 pub use error::{Result, SketchError};
 pub use estimate::{median_f64, quantile_f64, relative_error, Estimate};
 pub use merge::{merge_all, Mergeable};
+pub use metrics::{InsertTally, MetricsSnapshot, SketchMetrics};
 pub use params::SketchConfig;
 pub use recency::{LatestTs, RecencySketch};
 pub use sample::DistinctSample;
 pub use similarity::{jaccard_matrix, similarity, SimilarityEstimate};
 pub use sketch::{DistinctSketch, GtSketch, InsertStats};
 pub use sumdistinct::SumDistinctSketch;
-pub use trial::{CoordinatedTrial, Payload, TrialInsert};
+pub use trial::{CoordinatedTrial, Payload, TrialInsert, TrialMergeReport};
 pub use window::SlidingWindowSketch;

@@ -1,0 +1,437 @@
+//! Sketch-ops observability: per-sketch counters for every decision the
+//! sampling and union machinery takes.
+//!
+//! Production sketch services need to see what their sketches are *doing*
+//! — duplicate rates, promotion cadence, and above all whether the local
+//! insert path and the union path take the same decisions (the
+//! payload-reconciliation counters here are what would have surfaced the
+//! historical `insert_merging` argument-order bug: a union and a single
+//! observer of the same stream must report identical reconciliation
+//! counts and identical final state).
+//!
+//! The implementation is std-only: relaxed [`AtomicU64`] counters, no
+//! locks, no allocation on the record path. Counters are monotone and
+//! advisory — they never feed back into the estimator. Read them with
+//! [`SketchMetrics::snapshot`], which returns a plain-old-data
+//! [`MetricsSnapshot`] that renders human-readable via `Display` and
+//! machine-readable via [`MetricsSnapshot::to_json`].
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use crate::trial::{TrialInsert, TrialMergeReport};
+
+/// Monotone counters recording what a sketch's trials did. One instance
+/// lives inside every [`crate::GtSketch`]; sharded sketches aggregate one
+/// snapshot per shard.
+#[derive(Debug, Default)]
+pub struct SketchMetrics {
+    // Per-trial insert outcomes, keyed by `TrialInsert`.
+    inserts_sampled: AtomicU64,
+    inserts_duplicate: AtomicU64,
+    inserts_below_level: AtomicU64,
+    inserts_sampled_after_promotion: AtomicU64,
+    inserts_evicted_by_promotion: AtomicU64,
+    // Level movements, from any cause (insert overflow or union).
+    level_promotions: AtomicU64,
+    // Payload reconciliations on the *local* path (`insert_merging`
+    // duplicates).
+    local_reconciliations: AtomicU64,
+    // Union accounting.
+    merge_calls: AtomicU64,
+    merge_entries_absorbed: AtomicU64,
+    merge_reconciliations: AtomicU64,
+    merge_below_level: AtomicU64,
+}
+
+impl SketchMetrics {
+    /// Fresh, all-zero counters.
+    pub const fn new() -> Self {
+        SketchMetrics {
+            inserts_sampled: AtomicU64::new(0),
+            inserts_duplicate: AtomicU64::new(0),
+            inserts_below_level: AtomicU64::new(0),
+            inserts_sampled_after_promotion: AtomicU64::new(0),
+            inserts_evicted_by_promotion: AtomicU64::new(0),
+            level_promotions: AtomicU64::new(0),
+            local_reconciliations: AtomicU64::new(0),
+            merge_calls: AtomicU64::new(0),
+            merge_entries_absorbed: AtomicU64::new(0),
+            merge_reconciliations: AtomicU64::new(0),
+            merge_below_level: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one per-trial insert outcome.
+    #[inline]
+    pub fn record_insert(&self, outcome: TrialInsert) {
+        let counter = match outcome {
+            TrialInsert::Sampled => &self.inserts_sampled,
+            TrialInsert::Duplicate => &self.inserts_duplicate,
+            TrialInsert::BelowLevel => &self.inserts_below_level,
+            TrialInsert::SampledAfterPromotion => &self.inserts_sampled_after_promotion,
+            TrialInsert::EvictedByPromotion => &self.inserts_evicted_by_promotion,
+        };
+        counter.fetch_add(1, Relaxed);
+    }
+
+    /// Record `n` level promotions.
+    #[inline]
+    pub fn record_promotions(&self, n: u64) {
+        if n > 0 {
+            self.level_promotions.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Record one local (`insert_merging` duplicate) payload
+    /// reconciliation.
+    #[inline]
+    pub fn record_local_reconciliation(&self) {
+        self.local_reconciliations.fetch_add(1, Relaxed);
+    }
+
+    /// Record that a sketch-level union ran (once per `merge_from` call,
+    /// regardless of trial count).
+    #[inline]
+    pub fn record_merge_call(&self) {
+        self.merge_calls.fetch_add(1, Relaxed);
+    }
+
+    /// Fold one trial's union report into the counters.
+    pub fn record_trial_merge(&self, report: &TrialMergeReport) {
+        self.merge_entries_absorbed
+            .fetch_add(report.absorbed as u64, Relaxed);
+        self.merge_reconciliations
+            .fetch_add(report.reconciled as u64, Relaxed);
+        self.merge_below_level
+            .fetch_add(report.below_level as u64, Relaxed);
+        self.record_promotions(u64::from(report.promotions));
+    }
+
+    /// Bulk-record insert outcomes tallied locally by a batch loop (one
+    /// atomic op per counter instead of one per item).
+    pub fn record_insert_tally(&self, tally: &InsertTally) {
+        self.inserts_sampled.fetch_add(tally.sampled, Relaxed);
+        self.inserts_duplicate.fetch_add(tally.duplicate, Relaxed);
+        self.inserts_below_level
+            .fetch_add(tally.below_level, Relaxed);
+        self.inserts_sampled_after_promotion
+            .fetch_add(tally.sampled_after_promotion, Relaxed);
+        self.inserts_evicted_by_promotion
+            .fetch_add(tally.evicted_by_promotion, Relaxed);
+        self.record_promotions(tally.promotions);
+    }
+
+    /// A coherent point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            inserts_sampled: self.inserts_sampled.load(Relaxed),
+            inserts_duplicate: self.inserts_duplicate.load(Relaxed),
+            inserts_below_level: self.inserts_below_level.load(Relaxed),
+            inserts_sampled_after_promotion: self.inserts_sampled_after_promotion.load(Relaxed),
+            inserts_evicted_by_promotion: self.inserts_evicted_by_promotion.load(Relaxed),
+            level_promotions: self.level_promotions.load(Relaxed),
+            local_reconciliations: self.local_reconciliations.load(Relaxed),
+            merge_calls: self.merge_calls.load(Relaxed),
+            merge_entries_absorbed: self.merge_entries_absorbed.load(Relaxed),
+            merge_reconciliations: self.merge_reconciliations.load(Relaxed),
+            merge_below_level: self.merge_below_level.load(Relaxed),
+        }
+    }
+
+    /// Zero every counter (e.g. between experiment phases).
+    pub fn reset(&self) {
+        for counter in [
+            &self.inserts_sampled,
+            &self.inserts_duplicate,
+            &self.inserts_below_level,
+            &self.inserts_sampled_after_promotion,
+            &self.inserts_evicted_by_promotion,
+            &self.level_promotions,
+            &self.local_reconciliations,
+            &self.merge_calls,
+            &self.merge_entries_absorbed,
+            &self.merge_reconciliations,
+            &self.merge_below_level,
+        ] {
+            counter.store(0, Relaxed);
+        }
+    }
+}
+
+impl Clone for SketchMetrics {
+    /// Cloning a sketch clones its counters' current values (the clone
+    /// then counts independently).
+    fn clone(&self) -> Self {
+        let snap = self.snapshot();
+        SketchMetrics {
+            inserts_sampled: AtomicU64::new(snap.inserts_sampled),
+            inserts_duplicate: AtomicU64::new(snap.inserts_duplicate),
+            inserts_below_level: AtomicU64::new(snap.inserts_below_level),
+            inserts_sampled_after_promotion: AtomicU64::new(snap.inserts_sampled_after_promotion),
+            inserts_evicted_by_promotion: AtomicU64::new(snap.inserts_evicted_by_promotion),
+            level_promotions: AtomicU64::new(snap.level_promotions),
+            local_reconciliations: AtomicU64::new(snap.local_reconciliations),
+            merge_calls: AtomicU64::new(snap.merge_calls),
+            merge_entries_absorbed: AtomicU64::new(snap.merge_entries_absorbed),
+            merge_reconciliations: AtomicU64::new(snap.merge_reconciliations),
+            merge_below_level: AtomicU64::new(snap.merge_below_level),
+        }
+    }
+}
+
+/// Local accumulator for batch insert loops; flushed once via
+/// [`SketchMetrics::record_insert_tally`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InsertTally {
+    /// `TrialInsert::Sampled` outcomes.
+    pub sampled: u64,
+    /// `TrialInsert::Duplicate` outcomes.
+    pub duplicate: u64,
+    /// `TrialInsert::BelowLevel` outcomes.
+    pub below_level: u64,
+    /// `TrialInsert::SampledAfterPromotion` outcomes.
+    pub sampled_after_promotion: u64,
+    /// `TrialInsert::EvictedByPromotion` outcomes.
+    pub evicted_by_promotion: u64,
+    /// Level promotions observed across the batch.
+    pub promotions: u64,
+}
+
+impl InsertTally {
+    /// Count one outcome.
+    #[inline]
+    pub fn record(&mut self, outcome: TrialInsert) {
+        match outcome {
+            TrialInsert::Sampled => self.sampled += 1,
+            TrialInsert::Duplicate => self.duplicate += 1,
+            TrialInsert::BelowLevel => self.below_level += 1,
+            TrialInsert::SampledAfterPromotion => self.sampled_after_promotion += 1,
+            TrialInsert::EvictedByPromotion => self.evicted_by_promotion += 1,
+        }
+    }
+}
+
+/// Plain-old-data copy of [`SketchMetrics`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Labels that entered a trial's sample directly.
+    pub inserts_sampled: u64,
+    /// Labels already present in a trial's sample.
+    pub inserts_duplicate: u64,
+    /// Labels below a trial's sampling level on arrival.
+    pub inserts_below_level: u64,
+    /// Labels sampled after forcing one or more promotions.
+    pub inserts_sampled_after_promotion: u64,
+    /// Labels whose own insert promoted them out of qualification.
+    pub inserts_evicted_by_promotion: u64,
+    /// Level promotions from any cause (insert overflow or union).
+    pub level_promotions: u64,
+    /// Payload reconciliations on local duplicate arrivals
+    /// (`insert_merging`).
+    pub local_reconciliations: u64,
+    /// Sketch-level union operations.
+    pub merge_calls: u64,
+    /// Entries copied from the other side's samples during unions.
+    pub merge_entries_absorbed: u64,
+    /// Payload reconciliations where both union sides sampled a label.
+    pub merge_reconciliations: u64,
+    /// Other-side entries skipped during union (below aligned level).
+    pub merge_below_level: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total per-trial insert decisions recorded.
+    pub fn trial_inserts(&self) -> u64 {
+        self.inserts_sampled
+            + self.inserts_duplicate
+            + self.inserts_below_level
+            + self.inserts_sampled_after_promotion
+            + self.inserts_evicted_by_promotion
+    }
+
+    /// Total payload reconciliations, local and union. A single observer
+    /// and an equivalent union must agree on per-label payloads even
+    /// though this total differs (which is why the two are tracked
+    /// separately).
+    pub fn reconciliations(&self) -> u64 {
+        self.local_reconciliations + self.merge_reconciliations
+    }
+
+    /// Field-wise sum, for aggregating shard or party snapshots.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        self.inserts_sampled += other.inserts_sampled;
+        self.inserts_duplicate += other.inserts_duplicate;
+        self.inserts_below_level += other.inserts_below_level;
+        self.inserts_sampled_after_promotion += other.inserts_sampled_after_promotion;
+        self.inserts_evicted_by_promotion += other.inserts_evicted_by_promotion;
+        self.level_promotions += other.level_promotions;
+        self.local_reconciliations += other.local_reconciliations;
+        self.merge_calls += other.merge_calls;
+        self.merge_entries_absorbed += other.merge_entries_absorbed;
+        self.merge_reconciliations += other.merge_reconciliations;
+        self.merge_below_level += other.merge_below_level;
+    }
+
+    /// Render as a single JSON object (hand-rolled: the build environment
+    /// has no serde_json).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{",
+                "\"inserts_sampled\":{},",
+                "\"inserts_duplicate\":{},",
+                "\"inserts_below_level\":{},",
+                "\"inserts_sampled_after_promotion\":{},",
+                "\"inserts_evicted_by_promotion\":{},",
+                "\"level_promotions\":{},",
+                "\"local_reconciliations\":{},",
+                "\"merge_calls\":{},",
+                "\"merge_entries_absorbed\":{},",
+                "\"merge_reconciliations\":{},",
+                "\"merge_below_level\":{}",
+                "}}"
+            ),
+            self.inserts_sampled,
+            self.inserts_duplicate,
+            self.inserts_below_level,
+            self.inserts_sampled_after_promotion,
+            self.inserts_evicted_by_promotion,
+            self.level_promotions,
+            self.local_reconciliations,
+            self.merge_calls,
+            self.merge_entries_absorbed,
+            self.merge_reconciliations,
+            self.merge_below_level,
+        )
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "sketch metrics:")?;
+        writeln!(
+            f,
+            "  inserts: {} ({} sampled, {} duplicate, {} below-level, \
+             {} sampled-after-promotion, {} evicted-by-promotion)",
+            self.trial_inserts(),
+            self.inserts_sampled,
+            self.inserts_duplicate,
+            self.inserts_below_level,
+            self.inserts_sampled_after_promotion,
+            self.inserts_evicted_by_promotion,
+        )?;
+        writeln!(f, "  level promotions: {}", self.level_promotions)?;
+        writeln!(
+            f,
+            "  unions: {} calls, {} entries absorbed, {} below-level skips",
+            self.merge_calls, self.merge_entries_absorbed, self.merge_below_level,
+        )?;
+        write!(
+            f,
+            "  payload reconciliations: {} local, {} union",
+            self.local_reconciliations, self.merge_reconciliations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let m = SketchMetrics::new();
+        m.record_insert(TrialInsert::Sampled);
+        m.record_insert(TrialInsert::Sampled);
+        m.record_insert(TrialInsert::Duplicate);
+        m.record_insert(TrialInsert::BelowLevel);
+        m.record_insert(TrialInsert::SampledAfterPromotion);
+        m.record_insert(TrialInsert::EvictedByPromotion);
+        m.record_promotions(3);
+        m.record_local_reconciliation();
+        m.record_merge_call();
+        m.record_trial_merge(&TrialMergeReport {
+            entries_scanned: 10,
+            absorbed: 6,
+            reconciled: 2,
+            below_level: 2,
+            promotions: 1,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.inserts_sampled, 2);
+        assert_eq!(s.inserts_duplicate, 1);
+        assert_eq!(s.inserts_below_level, 1);
+        assert_eq!(s.inserts_sampled_after_promotion, 1);
+        assert_eq!(s.inserts_evicted_by_promotion, 1);
+        assert_eq!(s.trial_inserts(), 6);
+        assert_eq!(s.level_promotions, 3 + 1);
+        assert_eq!(s.local_reconciliations, 1);
+        assert_eq!(s.merge_calls, 1);
+        assert_eq!(s.merge_entries_absorbed, 6);
+        assert_eq!(s.merge_reconciliations, 2);
+        assert_eq!(s.merge_below_level, 2);
+        assert_eq!(s.reconciliations(), 3);
+
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn tally_flushes_in_bulk() {
+        let m = SketchMetrics::new();
+        let mut tally = InsertTally::default();
+        for _ in 0..5 {
+            tally.record(TrialInsert::Sampled);
+        }
+        tally.record(TrialInsert::Duplicate);
+        tally.promotions = 2;
+        m.record_insert_tally(&tally);
+        let s = m.snapshot();
+        assert_eq!(s.inserts_sampled, 5);
+        assert_eq!(s.inserts_duplicate, 1);
+        assert_eq!(s.level_promotions, 2);
+    }
+
+    #[test]
+    fn clone_copies_then_diverges() {
+        let m = SketchMetrics::new();
+        m.record_insert(TrialInsert::Sampled);
+        let c = m.clone();
+        assert_eq!(c.snapshot(), m.snapshot());
+        c.record_insert(TrialInsert::Sampled);
+        assert_eq!(c.snapshot().inserts_sampled, 2);
+        assert_eq!(m.snapshot().inserts_sampled, 1);
+    }
+
+    #[test]
+    fn snapshot_renders_json_and_text() {
+        let m = SketchMetrics::new();
+        m.record_insert(TrialInsert::Sampled);
+        let s = m.snapshot();
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"inserts_sampled\":1"));
+        assert!(json.contains("\"merge_calls\":0"));
+        let text = s.to_string();
+        assert!(text.contains("sketch metrics"));
+        assert!(text.contains("1 sampled"));
+    }
+
+    #[test]
+    fn absorb_sums_fieldwise() {
+        let mut a = MetricsSnapshot {
+            inserts_sampled: 1,
+            merge_calls: 2,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            inserts_sampled: 10,
+            level_promotions: 4,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.inserts_sampled, 11);
+        assert_eq!(a.merge_calls, 2);
+        assert_eq!(a.level_promotions, 4);
+    }
+}

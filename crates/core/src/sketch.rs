@@ -11,6 +11,7 @@ use gt_hash::{HashFamily, SeedSequence};
 
 use crate::error::{Result, SketchError};
 use crate::estimate::{median_f64, Estimate};
+use crate::metrics::{InsertTally, MetricsSnapshot, SketchMetrics};
 use crate::params::SketchConfig;
 use crate::trial::{CoordinatedTrial, Payload, TrialInsert};
 
@@ -33,6 +34,10 @@ pub struct GtSketch<V> {
     config: SketchConfig,
     master_seed: u64,
     trials: Vec<CoordinatedTrial<V>>,
+    /// Observability counters (advisory; never feed the estimator, never
+    /// travel on the wire).
+    #[serde(skip)]
+    metrics: SketchMetrics,
 }
 
 impl<V: Payload> GtSketch<V> {
@@ -50,6 +55,7 @@ impl<V: Payload> GtSketch<V> {
             config: *config,
             master_seed,
             trials,
+            metrics: SketchMetrics::new(),
         }
     }
 
@@ -88,6 +94,7 @@ impl<V: Payload> GtSketch<V> {
             config: *config,
             master_seed,
             trials,
+            metrics: SketchMetrics::new(),
         })
     }
 
@@ -114,7 +121,11 @@ impl<V: Payload> GtSketch<V> {
     #[inline]
     pub fn insert_with(&mut self, label: u64, payload: V) {
         for trial in &mut self.trials {
-            trial.insert(label, payload);
+            let level_before = trial.level();
+            let outcome = trial.insert(label, payload);
+            self.metrics.record_insert(outcome);
+            self.metrics
+                .record_promotions(u64::from(trial.level() - level_before));
         }
     }
 
@@ -131,7 +142,14 @@ impl<V: Payload> GtSketch<V> {
     #[inline]
     pub fn insert_merging_with(&mut self, label: u64, payload: V) {
         for trial in &mut self.trials {
-            trial.insert_merging(label, payload);
+            let level_before = trial.level();
+            let outcome = trial.insert_merging(label, payload);
+            self.metrics.record_insert(outcome);
+            if outcome == TrialInsert::Duplicate {
+                self.metrics.record_local_reconciliation();
+            }
+            self.metrics
+                .record_promotions(u64::from(trial.level() - level_before));
         }
     }
 
@@ -146,11 +164,15 @@ impl<V: Payload> GtSketch<V> {
     /// evicted `trials` times per item — a standard loop-interchange win
     /// measured by the `e4_ingest_batched` benchmark.
     pub fn insert_batch_with(&mut self, items: &[(u64, V)]) {
+        let mut tally = InsertTally::default();
         for trial in &mut self.trials {
+            let level_before = trial.level();
             for &(label, payload) in items {
-                trial.insert(label, payload);
+                tally.record(trial.insert(label, payload));
             }
+            tally.promotions += u64::from(trial.level() - level_before);
         }
+        self.metrics.record_insert_tally(&tally);
     }
 
     /// Number of items observed (duplicates included).
@@ -213,8 +235,10 @@ impl<V: Payload> GtSketch<V> {
                 detail: format!("{:?} vs {:?}", self.config, other.config),
             });
         }
+        self.metrics.record_merge_call();
         for (mine, theirs) in self.trials.iter_mut().zip(other.trials.iter()) {
-            mine.merge_from(theirs)?;
+            let report = mine.merge_from(theirs)?;
+            self.metrics.record_trial_merge(&report);
         }
         Ok(())
     }
@@ -224,6 +248,17 @@ impl<V: Payload> GtSketch<V> {
         let mut out = self.clone();
         out.merge_from(other)?;
         Ok(out)
+    }
+
+    /// Live observability counters for this sketch (see
+    /// [`crate::metrics`]).
+    pub fn metrics(&self) -> &SketchMetrics {
+        &self.metrics
+    }
+
+    /// Point-in-time copy of the observability counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 }
 
@@ -248,11 +283,15 @@ impl DistinctSketch {
     /// order — the fastest bulk-ingest path; see
     /// [`GtSketch::insert_batch_with`].
     pub fn extend_slice(&mut self, labels: &[u64]) {
+        let mut tally = InsertTally::default();
         for trial in &mut self.trials {
+            let level_before = trial.level();
             for &label in labels {
-                trial.insert(label, ());
+                tally.record(trial.insert(label, ()));
             }
+            tally.promotions += u64::from(trial.level() - level_before);
         }
+        self.metrics.record_insert_tally(&tally);
     }
 }
 
@@ -276,7 +315,12 @@ impl DistinctSketch {
             let mut any_sampled = false;
             let mut any_dup = false;
             for trial in &mut self.trials {
-                match trial.insert(label, ()) {
+                let level_before = trial.level();
+                let outcome = trial.insert(label, ());
+                self.metrics.record_insert(outcome);
+                self.metrics
+                    .record_promotions(u64::from(trial.level() - level_before));
+                match outcome {
                     TrialInsert::Sampled | TrialInsert::SampledAfterPromotion => any_sampled = true,
                     TrialInsert::Duplicate => any_dup = true,
                     TrialInsert::BelowLevel | TrialInsert::EvictedByPromotion => {}
@@ -462,6 +506,97 @@ mod tests {
             pairs.estimate_distinct().value,
             per_item.estimate_distinct().value
         );
+    }
+
+    #[test]
+    fn union_reconciles_payloads_like_a_single_observer() {
+        // Regression for the payload-merge asymmetry: u64's keep-first
+        // `merge` is non-commutative, so this fails if the local duplicate
+        // path and the union path reconcile in different argument orders.
+        let config = cfg(0.1, 0.1);
+        let seed = 21;
+        let first: Vec<(u64, u64)> = labels(2_000, 20).map(|l| (l, l ^ 0xAAAA)).collect();
+        let second: Vec<(u64, u64)> = first.iter().map(|&(l, _)| (l, l ^ 0x5555)).collect();
+
+        // One observer sees both passes over the labels.
+        let mut single = GtSketch::<u64>::new(&config, seed);
+        for &(l, p) in first.iter().chain(second.iter()) {
+            single.insert_merging_with(l, p);
+        }
+
+        // Two parties split the passes; the referee unions them.
+        let mut a = GtSketch::<u64>::new(&config, seed);
+        for &(l, p) in &first {
+            a.insert_merging_with(l, p);
+        }
+        let mut b = GtSketch::<u64>::new(&config, seed);
+        for &(l, p) in &second {
+            b.insert_merging_with(l, p);
+        }
+        let union = a.merged(&b).unwrap();
+
+        // Identical state means identical levels AND identical payloads —
+        // union-equals-single-observer for payloads, not just labels.
+        let state = |s: &GtSketch<u64>| -> Vec<(u8, std::collections::BTreeMap<u64, u64>)> {
+            s.trials()
+                .iter()
+                .map(|t| (t.level(), t.sample_iter().collect()))
+                .collect()
+        };
+        assert_eq!(state(&union), state(&single));
+        assert_eq!(union.items_observed(), single.items_observed());
+    }
+
+    #[test]
+    fn metrics_track_inserts_promotions_and_merges() {
+        let config = cfg(0.2, 0.2);
+        let trials = config.trials() as u64;
+        let v: Vec<u64> = labels(1_000, 30).collect();
+
+        let mut a = DistinctSketch::new(&config, 31);
+        a.extend_slice(&v);
+        let snap = a.metrics_snapshot();
+        assert_eq!(snap.trial_inserts(), 1_000 * trials);
+        assert!(snap.inserts_sampled > 0);
+
+        // A second pass is all duplicates / below-level.
+        a.extend_labels(v.iter().copied());
+        let snap = a.metrics_snapshot();
+        assert_eq!(snap.trial_inserts(), 2_000 * trials);
+        assert!(snap.inserts_duplicate > 0);
+
+        // Promotions recorded must match the levels actually reached.
+        let mut big = DistinctSketch::new(&config, 32);
+        big.extend_labels(labels(100_000, 33));
+        let total_levels: u64 = big.trials().iter().map(|t| u64::from(t.level())).sum();
+        assert!(total_levels > 0, "100k labels must promote somewhere");
+        assert_eq!(big.metrics_snapshot().level_promotions, total_levels);
+
+        // Union accounting.
+        let mut b = DistinctSketch::new(&config, 31);
+        b.extend_labels(labels(1_000, 34));
+        let before = a.metrics_snapshot();
+        a.merge_from(&b).unwrap();
+        let after = a.metrics_snapshot();
+        assert_eq!(after.merge_calls, before.merge_calls + 1);
+        assert!(after.merge_entries_absorbed > 0);
+
+        // The donor sketch's counters are untouched by being read from.
+        assert_eq!(b.metrics_snapshot().merge_calls, 0);
+    }
+
+    #[test]
+    fn metrics_count_local_reconciliations() {
+        let config = cfg(0.2, 0.2);
+        let mut s = GtSketch::<u64>::new(&config, 35);
+        let label = gt_hash::fold61(7);
+        s.insert_merging_with(label, 1);
+        assert_eq!(s.metrics_snapshot().local_reconciliations, 0);
+        s.insert_merging_with(label, 2);
+        let snap = s.metrics_snapshot();
+        // The duplicate reconciles once per trial (level 0 everywhere).
+        assert_eq!(snap.local_reconciliations, config.trials() as u64);
+        assert_eq!(snap.reconciliations(), snap.local_reconciliations);
     }
 
     #[test]

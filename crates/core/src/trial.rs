@@ -31,8 +31,19 @@ use crate::sampleset::{FixedCapMap, InsertOutcome};
 /// paper's model has the value be a function of the label, so agreement is
 /// expected — implementations for numeric types keep the first-seen value,
 /// matching "duplicate-insensitive" semantics.
+///
+/// # Canonical argument order
+///
+/// `merge` is **always** invoked as `stored.merge(incoming)`: `self` is
+/// the payload already in the sample (first observed), `other` is the one
+/// arriving later — whether the later arrival comes from the local stream
+/// ([`CoordinatedTrial::insert_merging`]) or from another party's sketch
+/// ([`CoordinatedTrial::merge_from`]). Implementations may rely on this
+/// order; it is what makes a union of partial streams reconcile payloads
+/// exactly like a single observer of the concatenated stream would.
 pub trait Payload: Copy + Default {
-    /// Reconcile two payloads observed for the same label.
+    /// Reconcile two payloads observed for the same label. Invoked as
+    /// `stored.merge(incoming)` (see the trait docs on argument order).
     fn merge(self, other: Self) -> Self;
 }
 
@@ -223,16 +234,19 @@ impl<V: Payload> CoordinatedTrial<V> {
     }
 
     /// Like [`CoordinatedTrial::insert`], but a duplicate arrival *merges*
-    /// its payload into the stored one (`Payload::merge(new, old)`) instead
-    /// of leaving it untouched. Used by payloads that accumulate per-label
-    /// state across arrivals (e.g. latest-timestamp tracking); plain
-    /// distinct counting sticks with `insert`, which skips the extra probe
-    /// work on duplicates.
+    /// its payload into the stored one as `stored.merge(incoming)` —
+    /// the **same argument order** [`CoordinatedTrial::merge_from`] uses
+    /// when both sides of a union sampled the label, so a local stream and
+    /// a union of partial streams reconcile identically (keep-first for
+    /// the built-in payload types). Used by payloads that accumulate
+    /// per-label state across arrivals (e.g. latest-timestamp tracking);
+    /// plain distinct counting sticks with `insert`, which skips the extra
+    /// probe work on duplicates.
     #[inline]
     pub fn insert_merging(&mut self, label: u64, payload: V) -> TrialInsert {
         let outcome = self.insert(label, payload);
         if outcome == TrialInsert::Duplicate {
-            self.sample.update(label, |v| *v = payload.merge(*v));
+            self.sample.update(label, |v| *v = v.merge(payload));
         }
         outcome
     }
@@ -335,8 +349,11 @@ impl<V: Payload> CoordinatedTrial<V> {
 
     /// Merge another trial *of the same hash function* into this one,
     /// producing exactly the trial a single party would hold had it
-    /// observed both streams (the referee's union step).
-    pub fn merge_from(&mut self, other: &CoordinatedTrial<V>) -> Result<()> {
+    /// observed both streams (the referee's union step). Returns a
+    /// [`TrialMergeReport`] accounting for every entry of `other` —
+    /// observability for the union path, mirroring what [`TrialInsert`]
+    /// provides for the local path.
+    pub fn merge_from(&mut self, other: &CoordinatedTrial<V>) -> Result<TrialMergeReport> {
         if self.hasher != other.hasher {
             return Err(SketchError::SeedMismatch);
         }
@@ -345,27 +362,38 @@ impl<V: Payload> CoordinatedTrial<V> {
                 detail: format!("trial capacity {} vs {}", self.capacity(), other.capacity()),
             });
         }
+        let level_before = self.level;
+        let mut report = TrialMergeReport::default();
         // Align to the higher of the two levels first.
         if other.level > self.level {
             self.subsample_to_level(other.level);
         }
         for (label, payload) in other.sample.iter() {
+            report.entries_scanned += 1;
             if self.hasher.level(label) < self.level {
+                report.below_level += 1;
                 continue; // other ran at a lower level; this label no longer qualifies
             }
             loop {
                 match self.sample.try_insert(label, payload) {
-                    InsertOutcome::Inserted => break,
+                    InsertOutcome::Inserted => {
+                        report.absorbed += 1;
+                        break;
+                    }
                     InsertOutcome::AlreadyPresent => {
                         // Both sides sampled this label: reconcile payloads
-                        // in place (keep-first for the built-in payload
-                        // types, custom for user payloads).
+                        // in place as `stored.merge(incoming)` — the same
+                        // argument order `insert_merging` uses locally
+                        // (keep-first for the built-in payload types,
+                        // custom for user payloads).
                         self.sample.update(label, |v| *v = v.merge(payload));
+                        report.reconciled += 1;
                         break;
                     }
                     InsertOutcome::Full => {
                         self.promote();
                         if self.hasher.level(label) < self.level {
+                            report.below_level += 1;
                             break;
                         }
                     }
@@ -373,8 +401,27 @@ impl<V: Payload> CoordinatedTrial<V> {
             }
         }
         self.items_observed += other.items_observed;
-        Ok(())
+        report.promotions = u32::from(self.level - level_before);
+        Ok(report)
     }
+}
+
+/// Accounting for one [`CoordinatedTrial::merge_from`] call: what happened
+/// to each entry of the absorbed trial, and how far the level moved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrialMergeReport {
+    /// Entries of the other trial's sample examined.
+    pub entries_scanned: usize,
+    /// Entries newly inserted into this trial's sample.
+    pub absorbed: usize,
+    /// Entries present on both sides whose payloads were reconciled via
+    /// `stored.merge(incoming)`.
+    pub reconciled: usize,
+    /// Entries skipped because they no longer qualify at the aligned (or
+    /// promoted) level.
+    pub below_level: usize,
+    /// Level promotions this merge caused (alignment plus overflow).
+    pub promotions: u32,
 }
 
 #[cfg(test)]
@@ -604,6 +651,59 @@ mod tests {
         let ok = CoordinatedTrial::from_parts(hasher, 16, 0, 10, entries).unwrap();
         assert_eq!(ok.sample_len(), 10);
         assert_eq!(ok.items_observed(), 10);
+    }
+
+    #[test]
+    fn merge_report_accounts_for_every_entry() {
+        let v1: Vec<u64> = labels(2_000, 20).collect();
+        let v2: Vec<u64> = labels(2_000, 21).collect();
+        let shared: Vec<u64> = labels(500, 22).collect();
+        let mut a = trial(64, 23);
+        let mut b = trial(64, 23);
+        for &x in v1.iter().chain(&shared) {
+            a.insert(x, ());
+        }
+        for &x in v2.iter().chain(&shared) {
+            b.insert(x, ());
+        }
+        let b_len = b.sample_len();
+        let a_level_before = a.level();
+        let report = a.merge_from(&b).unwrap();
+        assert_eq!(report.entries_scanned, b_len);
+        assert_eq!(
+            report.absorbed + report.reconciled + report.below_level,
+            report.entries_scanned,
+            "every scanned entry must be classified"
+        );
+        assert!(report.reconciled > 0, "shared labels must reconcile");
+        assert_eq!(report.promotions, u32::from(a.level() - a_level_before));
+    }
+
+    #[test]
+    fn local_merging_and_union_reconcile_in_the_same_order() {
+        // Regression for the payload-merge asymmetry: with a keep-first
+        // payload (u64), the same label carrying different payloads must
+        // resolve to the *first observed* payload both when the duplicate
+        // arrives locally (insert_merging) and when it arrives via union
+        // (merge_from).
+        let hasher = HashFamilyKind::Pairwise.build(FamilySeed(31));
+        let label = gt_hash::fold61(0xFEED);
+
+        let mut local: CoordinatedTrial<u64> = CoordinatedTrial::new(hasher.clone(), 16);
+        local.insert_merging(label, 111);
+        local.insert_merging(label, 222);
+
+        let mut first: CoordinatedTrial<u64> = CoordinatedTrial::new(hasher.clone(), 16);
+        first.insert_merging(label, 111);
+        let mut second: CoordinatedTrial<u64> = CoordinatedTrial::new(hasher, 16);
+        second.insert_merging(label, 222);
+        let report = first.merge_from(&second).unwrap();
+        assert_eq!(report.reconciled, 1);
+
+        let local_payload = local.sample_iter().find(|&(k, _)| k == label).unwrap().1;
+        let union_payload = first.sample_iter().find(|&(k, _)| k == label).unwrap().1;
+        assert_eq!(local_payload, 111, "local path must keep the first payload");
+        assert_eq!(union_payload, 111, "union path must keep the first payload");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use gt_core::SketchConfig;
 
 use crate::oracle::StreamOracle;
 use crate::party::{Party, PartyMessage};
-use crate::referee::Referee;
+use crate::referee::{Referee, RefereeTelemetry};
 use crate::workload::StreamSet;
 
 /// What happened to each party's single message.
@@ -50,11 +50,28 @@ pub struct FaultSpec {
     pub seed: u64,
 }
 
+/// Aggregate message-fate counts. Delivered/rejected come straight from
+/// the referee's own telemetry (it is the authority on what it accepted);
+/// only the drop count is the channel's, since the referee never sees a
+/// dropped message.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FateCounts {
+    /// Messages the referee accepted and merged.
+    pub delivered: usize,
+    /// Messages the channel dropped before the referee.
+    pub dropped: usize,
+    /// Messages the referee rejected as corrupt/invalid.
+    pub rejected: usize,
+}
+
 /// Outcome of a faulty scenario.
 #[derive(Clone, Debug)]
 pub struct FaultReport {
     /// Per-party fates.
     pub fates: Vec<MessageFate>,
+    /// The referee's own per-stage accounting (decode failures by reason,
+    /// phase timings).
+    pub telemetry: RefereeTelemetry,
     /// The referee's estimate over the messages it accepted.
     pub estimate: f64,
     /// Exact distinct count of the union of **all** streams.
@@ -67,6 +84,19 @@ pub struct FaultReport {
     /// Relative shortfall of `received_truth` against `full_truth` — the
     /// irreducible information lost with the dropped/corrupt parties.
     pub loss_shortfall: f64,
+}
+
+impl FaultReport {
+    /// Fate counts derived from the referee telemetry (not by re-scanning
+    /// [`FaultReport::fates`]): the referee reports what it accepted and
+    /// rejected; the remainder never reached it.
+    pub fn fate_counts(&self) -> FateCounts {
+        FateCounts {
+            delivered: self.telemetry.accepted,
+            dropped: self.fates.len() - self.telemetry.attempts(),
+            rejected: self.telemetry.rejected(),
+        }
+    }
 }
 
 /// Run a scenario where each party's single message passes through a
@@ -95,23 +125,33 @@ pub fn run_with_faults(
         }
         if rng.gen_bool(faults.corrupt_probability.clamp(0.0, 1.0)) {
             let mut raw = msg.payload.to_vec();
-            // Flip a random byte somewhere after the magic word.
-            let idx = rng.gen_range(4..raw.len());
-            raw[idx] ^= 1 << rng.gen_range(0..8);
-            msg.payload = bytes::Bytes::from(raw);
-            match referee.receive(&msg) {
-                Err(_) => {
-                    fates.push(MessageFate::CorruptedRejected);
-                    continue;
-                }
-                Ok(()) => {
-                    // The flipped bit can land in a don't-care position
-                    // (e.g. the items-observed diagnostic) and decode to a
-                    // STILL-VALID sketch; the referee merging it is
-                    // correct behaviour, not absorption of bad data.
-                    fates.push(MessageFate::Delivered);
-                    delivered_streams.push(stream);
-                    continue;
+            // Flip a random byte somewhere after the magic word. Messages
+            // with no content past the magic corrupt their last byte
+            // instead (`gen_range(4..len)` would panic on them), and an
+            // empty payload has nothing to flip, so it falls through to
+            // plain delivery.
+            let idx = if raw.len() > 4 {
+                Some(rng.gen_range(4..raw.len()))
+            } else {
+                raw.len().checked_sub(1)
+            };
+            if let Some(idx) = idx {
+                raw[idx] ^= 1u8 << rng.gen_range(0u32..8);
+                msg.payload = bytes::Bytes::from(raw);
+                match referee.receive(&msg) {
+                    Err(_) => {
+                        fates.push(MessageFate::CorruptedRejected);
+                        continue;
+                    }
+                    Ok(()) => {
+                        // The flipped bit can land in a don't-care position
+                        // (e.g. the items-observed diagnostic) and decode to a
+                        // STILL-VALID sketch; the referee merging it is
+                        // correct behaviour, not absorption of bad data.
+                        fates.push(MessageFate::Delivered);
+                        delivered_streams.push(stream);
+                        continue;
+                    }
                 }
             }
         }
@@ -130,6 +170,7 @@ pub fn run_with_faults(
 
     FaultReport {
         fates,
+        telemetry: *referee.telemetry(),
         estimate,
         full_truth,
         received_truth,
@@ -236,6 +277,61 @@ mod tests {
         assert_eq!(report.received_truth, 0);
         assert_eq!(report.loss_shortfall, 1.0);
         assert_eq!(report.error_vs_received, 0.0);
+    }
+
+    #[test]
+    fn fate_counts_come_from_referee_telemetry() {
+        let streams = spec().generate();
+        let faults = FaultSpec {
+            drop_probability: 0.3,
+            corrupt_probability: 0.5,
+            seed: 6,
+        };
+        let report = run_with_faults(&config(), 7, &streams, &faults);
+        let counts = report.fate_counts();
+        // Telemetry-derived counts must agree with the per-party fates the
+        // channel recorded.
+        let scan = |fate: MessageFate| report.fates.iter().filter(|&&f| f == fate).count();
+        assert_eq!(counts.delivered, scan(MessageFate::Delivered));
+        assert_eq!(counts.dropped, scan(MessageFate::Dropped));
+        assert_eq!(counts.rejected, scan(MessageFate::CorruptedRejected));
+        assert_eq!(
+            counts.delivered + counts.dropped + counts.rejected,
+            report.fates.len()
+        );
+        // Rejections were all detected at the sketch/codec layer.
+        assert_eq!(report.telemetry.rejected(), counts.rejected);
+    }
+
+    #[test]
+    fn empty_stream_party_survives_corruption() {
+        // Regression: the corruption injector used `gen_range(4..len)`,
+        // which panics when a message has nothing past the magic word.
+        // An empty-stream party sends the smallest legitimate message;
+        // force it through the corrupt path with every seed position.
+        let streams = StreamSet {
+            streams: vec![Vec::new(), (0..100).map(gt_hash::fold61).collect()],
+            spec: WorkloadSpec {
+                parties: 2,
+                distinct_per_party: 100,
+                overlap: 0.0,
+                items_per_party: 100,
+                distribution: Distribution::Uniform,
+                seed: 0,
+            },
+        };
+        for seed in 0..16 {
+            let faults = FaultSpec {
+                drop_probability: 0.0,
+                corrupt_probability: 1.0,
+                seed,
+            };
+            let report = run_with_faults(&config(), 7, &streams, &faults);
+            assert_eq!(report.fates.len(), 2);
+            // However the flips land, accounting must stay consistent.
+            let counts = report.fate_counts();
+            assert_eq!(counts.delivered + counts.rejected, 2);
+        }
     }
 
     #[test]

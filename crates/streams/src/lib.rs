@@ -37,11 +37,11 @@ pub mod topology;
 pub mod workload;
 
 pub use codec::{decode_sketch, encode_sketch};
-pub use faults::{run_with_faults, FaultReport, FaultSpec, MessageFate};
+pub use faults::{run_with_faults, FateCounts, FaultReport, FaultSpec, MessageFate};
 pub use netflow::{FlowRecord, FlowWorkload};
 pub use oracle::StreamOracle;
 pub use party::{Party, PartyMessage};
-pub use referee::Referee;
-pub use runner::{run_scenario, ScenarioReport};
+pub use referee::{Referee, RefereeTelemetry};
+pub use runner::{run_scenario, PartyPhases, ScenarioReport};
 pub use topology::{aggregate_tree, HierarchicalReport};
 pub use workload::{Distribution, StreamSet, WorkloadSpec};

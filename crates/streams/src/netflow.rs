@@ -121,7 +121,7 @@ impl FlowWorkload {
                     None => rng.gen_range(0..self.flows_per_monitor),
                 };
                 let mut rec = self.flow_of(monitor, index);
-                rec.bytes = 40 + rng.gen_range(0..1460);
+                rec.bytes = 40 + rng.gen_range(0..1460u32);
                 rec
             })
             .collect()

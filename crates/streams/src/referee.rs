@@ -3,12 +3,67 @@
 //!
 //! The referee validates and decodes each message (rejecting anything
 //! uncoordinated or corrupt), merges it into its running union sketch, and
-//! keeps byte-level communication accounting for experiment E9.
+//! keeps byte-level communication accounting for experiment E9 plus
+//! per-stage telemetry ([`RefereeTelemetry`]): decode successes and
+//! failures broken down by reject reason, and decode/merge phase timings.
+
+use std::time::{Duration, Instant};
 
 use gt_core::{DistinctSketch, Estimate, SketchConfig};
 
 use crate::codec::{decode_sketch, CodecError};
 use crate::party::PartyMessage;
+
+/// Per-stage accounting of everything the referee was handed.
+///
+/// Fate counts derive from here (see `crate::faults`) instead of being
+/// re-derived by callers: `accepted + rejected() == attempts recorded`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefereeTelemetry {
+    /// Messages that decoded, validated, and merged.
+    pub accepted: usize,
+    /// Rejects: buffer ended before the message did.
+    pub rejected_truncated: usize,
+    /// Rejects: magic/version word mismatch.
+    pub rejected_bad_magic: usize,
+    /// Rejects: invalid enum tag byte.
+    pub rejected_bad_tag: usize,
+    /// Rejects: varint/delta value outside its domain.
+    pub rejected_malformed: usize,
+    /// Rejects: decoded but failed sketch validation (bad seed, sample
+    /// invariant violation, config mismatch).
+    pub rejected_sketch: usize,
+    /// Time spent decoding payloads (successful and failed).
+    pub decode_time: Duration,
+    /// Time spent merging decoded sketches into the union.
+    pub merge_time: Duration,
+}
+
+impl RefereeTelemetry {
+    /// Total rejected messages, all reasons.
+    pub fn rejected(&self) -> usize {
+        self.rejected_truncated
+            + self.rejected_bad_magic
+            + self.rejected_bad_tag
+            + self.rejected_malformed
+            + self.rejected_sketch
+    }
+
+    /// Total receive attempts recorded.
+    pub fn attempts(&self) -> usize {
+        self.accepted + self.rejected()
+    }
+
+    fn record_reject(&mut self, err: &CodecError) {
+        match err {
+            CodecError::Truncated => self.rejected_truncated += 1,
+            CodecError::BadMagic(_) => self.rejected_bad_magic += 1,
+            CodecError::BadTag(_) => self.rejected_bad_tag += 1,
+            CodecError::Malformed(_) => self.rejected_malformed += 1,
+            CodecError::Sketch(_) => self.rejected_sketch += 1,
+        }
+    }
+}
 
 /// The central aggregator of the distributed-streams model.
 #[derive(Clone, Debug)]
@@ -18,6 +73,7 @@ pub struct Referee {
     messages: usize,
     bytes_received: usize,
     items_reported: u64,
+    telemetry: RefereeTelemetry,
 }
 
 impl Referee {
@@ -30,20 +86,52 @@ impl Referee {
             messages: 0,
             bytes_received: 0,
             items_reported: 0,
+            telemetry: RefereeTelemetry::default(),
         }
     }
 
     /// Receive one party's message: decode, validate, union.
     pub fn receive(&mut self, msg: &PartyMessage) -> Result<(), CodecError> {
-        let sketch: DistinctSketch = decode_sketch(msg.payload.clone())?;
-        if sketch.master_seed() != self.master_seed {
-            return Err(CodecError::Sketch(gt_core::SketchError::SeedMismatch));
+        let decode_start = Instant::now();
+        let decoded = decode_sketch::<()>(msg.payload.clone()).and_then(|sketch| {
+            if sketch.master_seed() == self.master_seed {
+                Ok(sketch)
+            } else {
+                Err(CodecError::Sketch(gt_core::SketchError::SeedMismatch))
+            }
+        });
+        self.telemetry.decode_time += decode_start.elapsed();
+        let sketch = match decoded {
+            Ok(sketch) => sketch,
+            Err(e) => {
+                self.telemetry.record_reject(&e);
+                return Err(e);
+            }
+        };
+        let merge_start = Instant::now();
+        let merged = self.union.merge_from(&sketch);
+        self.telemetry.merge_time += merge_start.elapsed();
+        if let Err(e) = merged {
+            let e = CodecError::from(e);
+            self.telemetry.record_reject(&e);
+            return Err(e);
         }
-        self.union.merge_from(&sketch)?;
+        self.telemetry.accepted += 1;
         self.messages += 1;
         self.bytes_received += msg.bytes();
         self.items_reported += msg.items_observed;
         Ok(())
+    }
+
+    /// Per-stage telemetry: decode outcomes by reason and phase timings.
+    pub fn telemetry(&self) -> &RefereeTelemetry {
+        &self.telemetry
+    }
+
+    /// Observability counters of the union sketch itself (merge entry
+    /// accounting, reconciliations, promotions).
+    pub fn union_metrics(&self) -> gt_core::MetricsSnapshot {
+        self.union.metrics_snapshot()
     }
 
     /// `(ε, δ)`-estimate of the distinct labels in the union of all
@@ -131,5 +219,56 @@ mod tests {
         let referee = Referee::new(&cfg(), 9);
         assert_eq!(referee.estimate_distinct().value, 0.0);
         assert_eq!(referee.bytes_received(), 0);
+        assert_eq!(*referee.telemetry(), RefereeTelemetry::default());
+    }
+
+    #[test]
+    fn telemetry_classifies_accepts_and_rejects() {
+        let config = cfg();
+        let mut referee = Referee::new(&config, 1);
+
+        // One good message.
+        let mut party = Party::new(0, &config, 1);
+        party.observe_stream(&labels(0..100));
+        referee.receive(&party.finish()).unwrap();
+
+        // One truncated message.
+        let mut party = Party::new(1, &config, 1);
+        party.observe_stream(&labels(0..100));
+        let mut msg = party.finish();
+        let mut raw = msg.payload.to_vec();
+        raw.truncate(raw.len() / 2);
+        msg.payload = bytes::Bytes::from(raw);
+        assert!(referee.receive(&msg).is_err());
+
+        // One foreign-seed message (decodes, fails sketch validation).
+        let mut party = Party::new(2, &config, 99);
+        party.observe_stream(&labels(0..100));
+        assert!(referee.receive(&party.finish()).is_err());
+
+        let t = referee.telemetry();
+        assert_eq!(t.accepted, 1);
+        assert_eq!(t.rejected_sketch, 1);
+        assert_eq!(t.rejected(), 2);
+        assert_eq!(t.attempts(), 3);
+        assert_eq!(t.rejected_bad_magic + t.rejected_bad_tag, 0);
+        // The accepted decode and merge were actually timed.
+        assert!(t.decode_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn union_metrics_reflect_merges() {
+        let config = cfg();
+        let mut referee = Referee::new(&config, 4);
+        for p in 0..3usize {
+            let mut party = Party::new(p, &config, 4);
+            party.observe_stream(&labels(p as u64 * 100..p as u64 * 100 + 150));
+            referee.receive(&party.finish()).unwrap();
+        }
+        let m = referee.union_metrics();
+        assert_eq!(m.merge_calls, 3);
+        assert!(m.merge_entries_absorbed > 0);
+        // Overlapping ranges: both sides sampled some labels.
+        assert!(m.merge_reconciliations > 0);
     }
 }

@@ -13,8 +13,17 @@ use gt_core::SketchConfig;
 
 use crate::oracle::StreamOracle;
 use crate::party::{Party, PartyMessage};
-use crate::referee::Referee;
+use crate::referee::{Referee, RefereeTelemetry};
 use crate::workload::StreamSet;
+
+/// One party's own phase timings, measured on its thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PartyPhases {
+    /// Time feeding the stream into the sketch.
+    pub observe: Duration,
+    /// Time encoding the end-of-stream message.
+    pub encode: Duration,
+}
 
 /// Everything measured in one scenario run.
 #[derive(Clone, Debug)]
@@ -33,8 +42,16 @@ pub struct ScenarioReport {
     pub bytes_per_party: Vec<usize>,
     /// Total communication (referee bytes received).
     pub total_bytes: usize,
-    /// Wall time for the observation phase (slowest party).
-    pub observe_time: Duration,
+    /// Per-party observe/encode timings (index = party id) — what each
+    /// party actually spent, as opposed to the wall clock of the phase.
+    pub party_phases: Vec<PartyPhases>,
+    /// Wall time of the parallel observation phase (slowest party plus
+    /// thread overhead).
+    pub observe_wall: Duration,
+    /// Referee telemetry: decode outcomes and decode/merge phase timings.
+    pub referee_telemetry: RefereeTelemetry,
+    /// Observability counters of the referee's union sketch.
+    pub union_metrics: gt_core::MetricsSnapshot,
     /// Wall time for decode + union + estimate at the referee.
     pub referee_time: Duration,
 }
@@ -42,12 +59,27 @@ pub struct ScenarioReport {
 impl ScenarioReport {
     /// Items per second across all parties during observation.
     pub fn throughput(&self) -> f64 {
-        let secs = self.observe_time.as_secs_f64();
+        let secs = self.observe_wall.as_secs_f64();
         if secs == 0.0 {
             f64::INFINITY
         } else {
             self.total_items as f64 / secs
         }
+    }
+
+    /// The slowest party's observe time (the critical path of the
+    /// observation phase, net of thread-spawn overhead).
+    pub fn max_party_observe(&self) -> Duration {
+        self.party_phases
+            .iter()
+            .map(|p| p.observe)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total time parties spent encoding messages.
+    pub fn total_encode(&self) -> Duration {
+        self.party_phases.iter().map(|p| p.encode).sum()
     }
 }
 
@@ -82,26 +114,34 @@ pub fn run_scenario(
     assert!(t > 0, "need at least one party");
 
     let observe_start = Instant::now();
-    let (tx, rx) = crossbeam::channel::unbounded::<PartyMessage>();
+    let (tx, rx) = crossbeam::channel::unbounded::<(PartyMessage, PartyPhases)>();
     crossbeam::scope(|scope| {
         for (id, stream) in streams.streams.iter().enumerate() {
             let tx = tx.clone();
             scope.spawn(move |_| {
                 let mut party = Party::new(id, config, master_seed);
+                let observe_start = Instant::now();
                 party.observe_stream(stream);
-                tx.send(party.finish()).expect("referee hung up");
+                let observe = observe_start.elapsed();
+                let encode_start = Instant::now();
+                let msg = party.finish();
+                let encode = encode_start.elapsed();
+                tx.send((msg, PartyPhases { observe, encode }))
+                    .expect("referee hung up");
             });
         }
         drop(tx);
     })
     .expect("party thread panicked");
-    let observe_time = observe_start.elapsed();
+    let observe_wall = observe_start.elapsed();
 
     let referee_start = Instant::now();
     let mut referee = Referee::new(config, master_seed);
     let mut bytes_per_party = vec![0usize; t];
-    while let Ok(msg) = rx.recv() {
+    let mut party_phases = vec![PartyPhases::default(); t];
+    while let Ok((msg, phases)) = rx.recv() {
         bytes_per_party[msg.party_id] = msg.bytes();
+        party_phases[msg.party_id] = phases;
         referee
             .receive(&msg)
             .expect("coordinated message must decode");
@@ -121,7 +161,10 @@ pub fn run_scenario(
         total_items: streams.total_items(),
         total_bytes: bytes_per_party.iter().sum(),
         bytes_per_party,
-        observe_time,
+        party_phases,
+        observe_wall,
+        referee_telemetry: *referee.telemetry(),
+        union_metrics: referee.union_metrics(),
         referee_time,
     }
 }
@@ -154,6 +197,36 @@ mod tests {
             report.bytes_per_party.iter().sum::<usize>()
         );
         assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn report_carries_phase_timings_and_telemetry() {
+        let spec = WorkloadSpec {
+            parties: 4,
+            distinct_per_party: 3_000,
+            overlap: 0.4,
+            items_per_party: 10_000,
+            distribution: Distribution::Uniform,
+            seed: 14,
+        };
+        let streams = spec.generate();
+        let config = SketchConfig::new(0.1, 0.1).unwrap();
+        let report = run_scenario(&config, 21, &streams);
+        // Per-party phases were populated for every party.
+        assert_eq!(report.party_phases.len(), 4);
+        assert!(report.max_party_observe() > Duration::ZERO);
+        assert!(report.max_party_observe() <= report.observe_wall);
+        assert!(report.total_encode() > Duration::ZERO);
+        // Referee telemetry accounts for every message, by stage.
+        let t = report.referee_telemetry;
+        assert_eq!(t.accepted, 4);
+        assert_eq!(t.rejected(), 0);
+        assert!(t.decode_time > Duration::ZERO);
+        assert!(t.merge_time > Duration::ZERO);
+        assert!(t.decode_time + t.merge_time <= report.referee_time);
+        // Union sketch counters saw all four merges.
+        assert_eq!(report.union_metrics.merge_calls, 4);
+        assert!(report.union_metrics.merge_entries_absorbed > 0);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Sketch-ops observability walkthrough: what the metrics layer sees.
+//!
+//! Run with: `cargo run --release --example sketch_stats`
+//!
+//! Every `GtSketch` carries zero-dependency atomic counters recording what
+//! its trials did — insert outcomes, level promotions, merge accounting,
+//! and payload reconciliations on both the local and the union path. This
+//! example drives a small two-site scenario plus a referee round-trip and
+//! prints the counters human-readably and as JSON.
+
+use gt_sketch::streams::{Party, Referee};
+use gt_sketch::{DistinctSketch, SketchConfig};
+
+fn main() {
+    let config = SketchConfig::new(0.1, 0.05).expect("valid (eps, delta)");
+    let master_seed = 0x0B5E_57A7;
+
+    // Two sites with overlapping streams.
+    let mut site_a = DistinctSketch::new(&config, master_seed);
+    let mut site_b = DistinctSketch::new(&config, master_seed);
+    site_a.extend_labels((0..30_000u64).map(gt_sketch::fold61));
+    site_b.extend_labels((15_000..45_000u64).map(gt_sketch::fold61));
+
+    println!("--- site A ---\n{}\n", site_a.metrics_snapshot());
+    println!("--- site B ---\n{}\n", site_b.metrics_snapshot());
+
+    // The union path: merge accounting lands on the receiving sketch.
+    let union = site_a.merged(&site_b).expect("coordinated");
+    let m = union.metrics_snapshot();
+    println!("--- union (A <- B) ---\n{m}\n");
+    println!("union as JSON: {}\n", m.to_json());
+    println!(
+        "estimate {:.0} over {} merge-absorbed entries, {} reconciliations, {} promotions\n",
+        union.estimate_distinct().value,
+        m.merge_entries_absorbed,
+        m.merge_reconciliations,
+        m.level_promotions,
+    );
+
+    // The full referee round-trip: wire-encode both sites, decode and
+    // union at the referee, and read its per-stage telemetry.
+    let mut referee = Referee::new(&config, master_seed);
+    for (id, range) in [0..30_000u64, 15_000..45_000].into_iter().enumerate() {
+        let mut party = Party::new(id, &config, master_seed);
+        for l in range {
+            party.observe(gt_sketch::fold61(l));
+        }
+        referee.receive(&party.finish()).expect("intact message");
+    }
+    let t = referee.telemetry();
+    println!(
+        "referee: {} accepted, {} rejected, decode {:?}, merge {:?}",
+        t.accepted,
+        t.rejected(),
+        t.decode_time,
+        t.merge_time,
+    );
+    println!(
+        "referee union metrics: {}",
+        referee.union_metrics().to_json()
+    );
+}

@@ -41,10 +41,11 @@
 
 pub use gt_core::{
     compact, concurrent, error, estimate, harmonize, jaccard_matrix, median_f64, merge, merge_all,
-    parallel, params, predicate, quantile_f64, recency, relative_error, sample, similarity, sketch,
-    sumdistinct, trial, CoordinatedTrial, DistinctSample, DistinctSketch, Estimate, GtSketch,
-    InsertStats, LatestTs, Mergeable, Payload, RecencySketch, Result, ShardedSketch,
-    SimilarityEstimate, SketchConfig, SketchError, SumDistinctSketch, TrialInsert,
+    metrics, parallel, params, predicate, quantile_f64, recency, relative_error, sample,
+    similarity, sketch, sumdistinct, trial, CoordinatedTrial, DistinctSample, DistinctSketch,
+    Estimate, GtSketch, InsertStats, LatestTs, Mergeable, MetricsSnapshot, Payload, RecencySketch,
+    Result, ShardedSketch, SimilarityEstimate, SketchConfig, SketchError, SketchMetrics,
+    SumDistinctSketch, TrialInsert, TrialMergeReport,
 };
 
 /// Hashing substrate: pairwise-independent families, levels, seeds.

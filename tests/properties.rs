@@ -166,6 +166,39 @@ mod codec_robustness {
     use super::*;
     use gt_sketch::streams::codec::decode_sketch as decode;
 
+    /// Deterministic port of the stored proptest regression for
+    /// `decode_survives_single_byte_corruption` (the shim proptest runner
+    /// does not replay `.proptest-regressions` files): this exact label
+    /// set, seed, and bit flip once produced a decode that violated the
+    /// sample invariant.
+    #[test]
+    fn corruption_regression_seed0_flip3595_bit6() {
+        let labels: Vec<u64> = vec![
+            533, 3853, 4173, 8964, 8150, 7573, 9116, 2638, 128, 13, 6408, 3629, 1741, 6334, 5868,
+            2842, 1046, 2394, 875, 1955, 6055, 1984, 109, 412, 5910, 564, 7421, 362, 9878, 2988,
+            6141, 9931, 2822, 343, 35, 97, 318, 1241, 3087, 2028, 765, 2028, 4047, 2162, 38, 3341,
+            3639, 884, 1598, 6905, 4605, 4365, 3632, 5848, 3099, 318, 263, 4025, 5793, 4422, 3851,
+            6235, 8814, 8277, 3966, 9027, 306, 1152, 6945, 5959, 2873, 2603, 478, 9624, 2405, 7928,
+            4118, 1433,
+        ];
+        let s = sketch_of(&labels, 0);
+        let mut raw = encode_sketch(&s).to_vec();
+        let idx = 3595 % raw.len();
+        raw[idx] ^= 1 << 6;
+        if let Ok(decoded) = decode::<()>(bytes::Bytes::from(raw)) {
+            for t in decoded.trials() {
+                assert!(t.sample_len() <= t.capacity());
+                for (label, _) in t.sample_iter() {
+                    assert!(
+                        gt_sketch::hash::LevelHasher::level(t.hasher(), label) >= t.level(),
+                        "decoded sample entry {label} below trial level {}",
+                        t.level()
+                    );
+                }
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(256))]
 
