@@ -101,8 +101,12 @@ fn ingest_vs_length(c: &mut Criterion) {
     group.finish();
 }
 
-/// Item-major (per-item) vs trial-major (batched) loop order on the same
-/// data: the loop-interchange optimization `GtSketch::extend_slice` buys.
+/// Item-major (per-item) vs trial-major reference vs the
+/// batch-monomorphic kernel on the same data. `extend_labels` now feeds
+/// the kernel through a stack buffer, so the per-item contender is an
+/// explicit `insert` loop. Summary numbers (and the CI gate) come from
+/// `experiments e4` / `results/BENCH_ingest.json`; this group gives the
+/// Criterion-grade confidence intervals.
 fn ingest_batched(c: &mut Criterion) {
     let data = labels(100_000, 6);
     let config = SketchConfig::new(0.1, 0.05).unwrap();
@@ -111,11 +115,20 @@ fn ingest_batched(c: &mut Criterion) {
     group.bench_function("item_major", |b| {
         b.iter(|| {
             let mut s = DistinctSketch::new(&config, 7);
-            s.extend_labels(data.iter().copied());
+            for &l in &data {
+                s.insert(l);
+            }
             black_box(s.sample_entries())
         });
     });
-    group.bench_function("trial_major_batched", |b| {
+    group.bench_function("trial_major_reference", |b| {
+        b.iter(|| {
+            let mut s = DistinctSketch::new(&config, 7);
+            s.extend_slice_reference(&data);
+            black_box(s.sample_entries())
+        });
+    });
+    group.bench_function("trial_major_kernel", |b| {
         b.iter(|| {
             let mut s = DistinctSketch::new(&config, 7);
             s.extend_slice(&data);

@@ -1,0 +1,112 @@
+//! E14 — parallel scaling: fan-out/merge ingest vs thread count.
+//!
+//! Claim: because the union of coordinated sketches is *exactly* the
+//! sketch of the concatenated input, [`gt_core::parallel::build_parallel`]
+//! can spread ingest across threads with zero accuracy cost. This
+//! experiment (a) **asserts** bitwise identity of the per-trial sample
+//! sets at every thread count against the single-threaded build, and
+//! (b) records the speedup curve, writing the machine-readable summary
+//! CI gates on to `results/BENCH_parallel.json`.
+
+use std::time::{Duration, Instant};
+
+use crate::experiments::common::labels;
+use crate::table::Table;
+use gt_core::parallel::build_parallel;
+use gt_core::{DistinctSketch, SketchConfig};
+
+/// Where the machine-readable summary lands.
+pub const BENCH_JSON: &str = "results/BENCH_parallel.json";
+
+fn sample_sets(s: &DistinctSketch) -> Vec<std::collections::BTreeSet<u64>> {
+    s.trials()
+        .iter()
+        .map(|t| t.sample_iter().map(|(k, _)| k).collect())
+        .collect()
+}
+
+/// Run E14.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n: u64 = if quick { 300_000 } else { 3_000_000 };
+    let threads: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let reps = if quick { 2 } else { 3 };
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let data = labels(n, 0xE14);
+
+    let baseline = build_parallel(&config, 0xE14, &data, 1).expect("sequential build");
+    let baseline_sets = sample_sets(&baseline);
+
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new(); // (threads, ms, speedup)
+    let mut single_thread_best = Duration::MAX;
+    let mut table = Table::new(
+        "E14",
+        "parallel build scaling (bitwise-identical at every width)",
+        &[
+            "threads",
+            "wall_ms",
+            "items_per_sec",
+            "speedup_vs_1",
+            "identical",
+        ],
+    );
+    for &t in threads {
+        let mut best = Duration::MAX;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let sketch = build_parallel(&config, 0xE14, &data, t).expect("parallel build");
+            let elapsed = start.elapsed();
+            best = best.min(elapsed);
+            // The whole point: parallelism must not change the state.
+            assert_eq!(
+                sample_sets(&sketch),
+                baseline_sets,
+                "parallel build diverged at {t} threads"
+            );
+        }
+        if t == 1 {
+            single_thread_best = best;
+        }
+        let ms = best.as_secs_f64() * 1e3;
+        let speedup = single_thread_best.as_secs_f64() / best.as_secs_f64();
+        rows.push((t, ms, speedup));
+        table.row(vec![
+            t.to_string(),
+            format!("{ms:.1}"),
+            format!("{:.3e}", n as f64 / best.as_secs_f64()),
+            format!("{speedup:.2}x"),
+            "yes".to_string(),
+        ]);
+    }
+    table.note(format!(
+        "n = {n} labels, best of {reps} reps; identity asserted per rep (panics on divergence)"
+    ));
+    table.note(
+        "PASS condition: identical = yes everywhere; speedup grows with threads \
+         until the merge + memory bandwidth floor",
+    );
+    table.note(format!("machine-readable summary: {BENCH_JSON}"));
+
+    write_json(n, &rows, quick);
+    vec![table]
+}
+
+/// Hand-rolled JSON mirror of the table. `bitwise_identical` is only ever
+/// written as `true`: divergence panics the run instead.
+fn write_json(n: u64, rows: &[(usize, f64, f64)], quick: bool) {
+    let rows_json = rows
+        .iter()
+        .map(|&(t, ms, speedup)| {
+            format!("{{\"threads\":{t},\"wall_ms\":{ms:.2},\"speedup_vs_1\":{speedup:.3}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"experiment\":\"e14\",\"quick\":{quick},\"n\":{n},\
+         \"rows\":[{rows_json}],\"bitwise_identical\":true}}\n"
+    );
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write(BENCH_JSON, json))
+    {
+        eprintln!("  {BENCH_JSON} write failed: {e}");
+    }
+}

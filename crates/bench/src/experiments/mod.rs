@@ -5,6 +5,7 @@ pub mod common;
 pub mod e01_accuracy_vs_epsilon;
 pub mod e02_median_boosting;
 pub mod e03_space;
+pub mod e04_ingest_throughput;
 pub mod e05_union_overlap;
 pub mod e06_frontier;
 pub mod e07_sumdistinct;
@@ -13,6 +14,7 @@ pub mod e09_communication;
 pub mod e11_ablation;
 pub mod e12_similarity;
 pub mod e13_predicate;
+pub mod e14_parallel_scaling;
 pub mod e15_heterogeneous;
 pub mod e16_window;
 
@@ -28,8 +30,10 @@ pub struct Experiment {
     pub run: fn(quick: bool) -> Vec<Table>,
 }
 
-/// All table-producing experiments. (E4, E10 and E14 are time-domain and
-/// live in `benches/` as Criterion benchmarks; see EXPERIMENTS.md.)
+/// All runnable experiments. E4 and E14 are time-domain but still run
+/// here (they emit `results/BENCH_*.json` for the CI bench-smoke gate,
+/// with Criterion counterparts in `benches/` for fine-grained numbers);
+/// only E10 remains Criterion-only. See EXPERIMENTS.md.
 pub const REGISTRY: &[Experiment] = &[
     Experiment {
         id: "e1",
@@ -46,6 +50,12 @@ pub const REGISTRY: &[Experiment] = &[
         id: "e3",
         description: "space usage vs the O(eps^-2 log(1/delta) log n) bound and vs exact sets",
         run: e03_space::run,
+    },
+    Experiment {
+        id: "e4",
+        description:
+            "ingest throughput: per-item vs batched vs kernel across hash families (BENCH_ingest.json)",
+        run: e04_ingest_throughput::run,
     },
     Experiment {
         id: "e5",
@@ -88,6 +98,12 @@ pub const REGISTRY: &[Experiment] = &[
         id: "e13",
         description: "predicate-restricted counts: additive error across selectivities",
         run: e13_predicate::run,
+    },
+    Experiment {
+        id: "e14",
+        description:
+            "parallel scaling: thread sweep with bitwise-identity assertion (BENCH_parallel.json)",
+        run: e14_parallel_scaling::run,
     },
     Experiment {
         id: "e15",

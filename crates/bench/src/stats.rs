@@ -29,6 +29,11 @@ pub fn render_stats(report: &ScenarioReport) -> String {
         report.parties, report.total_items, report.estimate, report.truth, report.relative_error,
     ));
     out.push_str(&format!(
+        "  throughput: {:.0} items/s across {} parties during observation\n",
+        report.throughput(),
+        report.parties,
+    ));
+    out.push_str(&format!(
         "  phases: observe wall {:.3}s (slowest party {:.3}s), encode total {:.3}s, \
          decode {:.3}s, merge {:.3}s\n",
         secs(report.observe_wall),
@@ -70,6 +75,13 @@ pub fn render_stats(report: &ScenarioReport) -> String {
 /// Render the same data as a single JSON object.
 pub fn render_stats_json(report: &ScenarioReport) -> String {
     let t = &report.referee_telemetry;
+    // An instantaneous observation phase reports throughput as infinity,
+    // which JSON cannot carry; clamp to 0 (no meaningful rate).
+    let items_per_sec = if report.throughput().is_finite() {
+        report.throughput()
+    } else {
+        0.0
+    };
     format!(
         concat!(
             "{{",
@@ -78,6 +90,7 @@ pub fn render_stats_json(report: &ScenarioReport) -> String {
             "\"estimate\":{},",
             "\"truth\":{},",
             "\"relative_error\":{},",
+            "\"items_per_sec\":{},",
             "\"observe_wall_s\":{},",
             "\"max_party_observe_s\":{},",
             "\"encode_total_s\":{},",
@@ -93,6 +106,7 @@ pub fn render_stats_json(report: &ScenarioReport) -> String {
         report.estimate,
         report.truth,
         report.relative_error,
+        items_per_sec,
         secs(report.observe_wall),
         secs(report.max_party_observe()),
         secs(report.total_encode()),
@@ -129,10 +143,12 @@ mod tests {
         let human = render_stats(&report);
         assert!(human.contains("sketch-ops stats"));
         assert!(human.contains("4 parties"));
+        assert!(human.contains("items/s"));
         assert!(human.contains("accepted"));
         let json = render_stats_json(&report);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"parties\":4"));
+        assert!(json.contains("\"items_per_sec\":"));
         assert!(json.contains("\"accepted\":4"));
         assert!(json.contains("\"union_metrics\":{"));
         // The embedded union metrics saw the four merges.

@@ -51,6 +51,10 @@ pub struct ShardedSketch {
     mask: u64,
 }
 
+/// Per-shard staging-buffer length used by [`ShardedSketch::extend_labels`]
+/// before draining a shard under one lock acquisition.
+pub const SHARD_BUF: usize = 256;
+
 impl ShardedSketch {
     /// Create a sketch with `shards` independent stripes (rounded up to a
     /// power of two). All stripes share the config and master seed, so
@@ -86,22 +90,31 @@ impl ShardedSketch {
         self.shards[shard].lock().insert(label);
     }
 
-    /// Observe a batch, grouping locks per shard run to cut lock traffic:
-    /// consecutive labels that map to the same shard are ingested under
-    /// one lock acquisition instead of one per label. Equivalent to
-    /// per-item [`ShardedSketch::insert`] (each shard sees its labels in
-    /// the same order either way).
+    /// Observe a batch: labels are staged into a per-shard buffer
+    /// ([`SHARD_BUF`] entries each) and every full buffer is drained under
+    /// one lock acquisition through the shard's batch kernel
+    /// ([`DistinctSketch::extend_slice`]). This both cuts lock traffic
+    /// (one acquisition per `SHARD_BUF` labels per shard instead of one
+    /// per run of same-shard labels) and gives each shard the
+    /// monomorphic bulk-hash path. Equivalent to per-item
+    /// [`ShardedSketch::insert`]: each shard sees its labels in stream
+    /// order either way, and shards are independent sketches.
     pub fn extend_labels(&self, labels: impl IntoIterator<Item = u64>) {
-        let mut run: Option<(usize, parking_lot::MutexGuard<'_, DistinctSketch>)> = None;
+        let mut bufs: Vec<Vec<u64>> = (0..self.shards.len())
+            .map(|_| Vec::with_capacity(SHARD_BUF))
+            .collect();
         for label in labels {
             let shard = self.shard_of(label);
-            match &mut run {
-                Some((held, guard)) if *held == shard => guard.insert(label),
-                _ => {
-                    let mut guard = self.shards[shard].lock();
-                    guard.insert(label);
-                    run = Some((shard, guard));
-                }
+            let buf = &mut bufs[shard];
+            buf.push(label);
+            if buf.len() == SHARD_BUF {
+                self.shards[shard].lock().extend_slice(buf);
+                buf.clear();
+            }
+        }
+        for (shard, buf) in bufs.iter().enumerate() {
+            if !buf.is_empty() {
+                self.shards[shard].lock().extend_slice(buf);
             }
         }
     }

@@ -107,17 +107,31 @@ impl SketchMetrics {
         self.record_promotions(u64::from(report.promotions));
     }
 
-    /// Bulk-record insert outcomes tallied locally by a batch loop (one
-    /// atomic op per counter instead of one per item).
+    /// Bulk-record insert outcomes tallied locally by a batch loop (at
+    /// most one atomic op per *non-zero* counter instead of one per item).
+    ///
+    /// Zero counters are skipped entirely, so flushing the tally of a
+    /// single-item insert costs one or two RMWs total rather than one per
+    /// field — this is what keeps [`crate::GtSketch::insert_with`] cheap
+    /// now that it also routes through a tally.
     pub fn record_insert_tally(&self, tally: &InsertTally) {
-        self.inserts_sampled.fetch_add(tally.sampled, Relaxed);
-        self.inserts_duplicate.fetch_add(tally.duplicate, Relaxed);
-        self.inserts_below_level
-            .fetch_add(tally.below_level, Relaxed);
-        self.inserts_sampled_after_promotion
-            .fetch_add(tally.sampled_after_promotion, Relaxed);
-        self.inserts_evicted_by_promotion
-            .fetch_add(tally.evicted_by_promotion, Relaxed);
+        fn add_nonzero(counter: &AtomicU64, n: u64) {
+            if n > 0 {
+                counter.fetch_add(n, Relaxed);
+            }
+        }
+        add_nonzero(&self.inserts_sampled, tally.sampled);
+        add_nonzero(&self.inserts_duplicate, tally.duplicate);
+        add_nonzero(&self.inserts_below_level, tally.below_level);
+        add_nonzero(
+            &self.inserts_sampled_after_promotion,
+            tally.sampled_after_promotion,
+        );
+        add_nonzero(
+            &self.inserts_evicted_by_promotion,
+            tally.evicted_by_promotion,
+        );
+        add_nonzero(&self.local_reconciliations, tally.local_reconciliations);
         self.record_promotions(tally.promotions);
     }
 
@@ -181,7 +195,7 @@ impl Clone for SketchMetrics {
 
 /// Local accumulator for batch insert loops; flushed once via
 /// [`SketchMetrics::record_insert_tally`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct InsertTally {
     /// `TrialInsert::Sampled` outcomes.
     pub sampled: u64,
@@ -195,6 +209,10 @@ pub struct InsertTally {
     pub evicted_by_promotion: u64,
     /// Level promotions observed across the batch.
     pub promotions: u64,
+    /// Payload reconciliations on local duplicate arrivals (the merging
+    /// batch kernel's counterpart of
+    /// [`SketchMetrics::record_local_reconciliation`]).
+    pub local_reconciliations: u64,
 }
 
 impl InsertTally {
@@ -385,11 +403,13 @@ mod tests {
         }
         tally.record(TrialInsert::Duplicate);
         tally.promotions = 2;
+        tally.local_reconciliations = 1;
         m.record_insert_tally(&tally);
         let s = m.snapshot();
         assert_eq!(s.inserts_sampled, 5);
         assert_eq!(s.inserts_duplicate, 1);
         assert_eq!(s.level_promotions, 2);
+        assert_eq!(s.local_reconciliations, 1);
     }
 
     #[test]

@@ -7,13 +7,20 @@
 //! the concatenation, the parallel build is bitwise-deterministic: it
 //! produces the same sample sets as a sequential build of the same data,
 //! regardless of thread count or scheduling. That property is tested, not
-//! just asserted, and is what makes the speedup free of accuracy cost
-//! (experiment E14).
+//! just asserted, and is what makes the speedup free of accuracy cost.
+//!
+//! Workers ingest their chunk through the batch-monomorphic kernel
+//! ([`DistinctSketch::extend_slice`]), not per-item inserts — the scaling
+//! curve should measure parallelism, not a slow inner loop. Experiment
+//! `e14` (`experiments e14`, `results/BENCH_parallel.json`) sweeps the
+//! thread count, re-checks bitwise identity at every width, and records
+//! the speedup curve.
 
 use crate::error::Result;
 use crate::merge::merge_all;
 use crate::params::SketchConfig;
-use crate::sketch::DistinctSketch;
+use crate::sketch::{DistinctSketch, GtSketch};
+use crate::trial::Payload;
 
 /// Build a [`DistinctSketch`] over `labels` using `threads` worker threads
 /// (values < 2 fall back to a sequential build).
@@ -39,7 +46,7 @@ pub fn build_parallel(
 ) -> Result<DistinctSketch> {
     if threads < 2 || labels.len() < 2 {
         let mut s = DistinctSketch::new(config, master_seed);
-        s.extend_labels(labels.iter().copied());
+        s.extend_slice(labels);
         return Ok(s);
     }
     let threads = threads.min(labels.len());
@@ -50,7 +57,50 @@ pub fn build_parallel(
             .map(|chunk| {
                 scope.spawn(move |_| {
                     let mut s = DistinctSketch::new(config, master_seed);
-                    s.extend_labels(chunk.iter().copied());
+                    s.extend_slice(chunk);
+                    s
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope panicked");
+    merge_all(&locals)
+}
+
+/// Payload-carrying parallel build: sketch `(label, payload)` chunks on
+/// worker threads with the merging batch kernel
+/// ([`GtSketch::insert_batch_merging_with`]), then union. Duplicate
+/// arrivals reconcile as `stored.merge(incoming)` on workers and at the
+/// union alike, so the result is bitwise-identical — payloads included —
+/// to a sequential [`GtSketch::insert_merging_with`] pass over the
+/// concatenated input.
+///
+/// # Errors
+/// Propagates merge errors, as [`build_parallel`].
+pub fn build_parallel_with<V: Payload + Send + Sync>(
+    config: &SketchConfig,
+    master_seed: u64,
+    items: &[(u64, V)],
+    threads: usize,
+) -> Result<GtSketch<V>> {
+    if threads < 2 || items.len() < 2 {
+        let mut s = GtSketch::new(config, master_seed);
+        s.insert_batch_merging_with(items);
+        return Ok(s);
+    }
+    let threads = threads.min(items.len());
+    let chunk_len = items.len().div_ceil(threads);
+    let locals: Vec<GtSketch<V>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut s = GtSketch::new(config, master_seed);
+                    s.insert_batch_merging_with(chunk);
                     s
                 })
             })
@@ -155,6 +205,32 @@ mod tests {
         let labels: Vec<u64> = (0..5).map(gt_hash::fold61).collect();
         let s = build_parallel(&cfg(), 24, &labels, 64).unwrap();
         assert_eq!(s.estimate_distinct().value, 5.0);
+    }
+
+    #[test]
+    fn payload_parallel_build_matches_sequential_merging_build() {
+        // Duplicate labels straddle chunk boundaries with distinct
+        // payloads, so worker-local reconciliation AND union-time
+        // reconciliation both fire; the result must still equal the
+        // single-observer merging build exactly, payloads included.
+        let items: Vec<(u64, u64)> = (0..30_000u64)
+            .map(|i| (gt_hash::fold61(i % 9_000), i))
+            .collect();
+        let mut seq = GtSketch::<u64>::new(&cfg(), 26);
+        for &(l, p) in &items {
+            seq.insert_merging_with(l, p);
+        }
+        let state = |s: &GtSketch<u64>| -> Vec<(u8, std::collections::BTreeMap<u64, u64>)> {
+            s.trials()
+                .iter()
+                .map(|t| (t.level(), t.sample_iter().collect()))
+                .collect()
+        };
+        for threads in [1, 2, 4, 8] {
+            let par = build_parallel_with(&cfg(), 26, &items, threads).unwrap();
+            assert_eq!(state(&par), state(&seq), "threads {threads}");
+            assert_eq!(par.items_observed(), seq.items_observed());
+        }
     }
 
     #[test]

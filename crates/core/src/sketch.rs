@@ -118,15 +118,19 @@ impl<V: Payload> GtSketch<V> {
     ///
     /// Labels must lie in `[0, 2^61 − 1)`; fold bigger identifiers through
     /// [`gt_hash::fold61`] or use [`GtSketch::insert_hashed`].
+    ///
+    /// Metrics are tallied on the stack across the trial loop and flushed
+    /// once, so the per-item cost is one or two atomic RMWs total instead
+    /// of two per trial.
     #[inline]
     pub fn insert_with(&mut self, label: u64, payload: V) {
+        let mut tally = InsertTally::default();
         for trial in &mut self.trials {
             let level_before = trial.level();
-            let outcome = trial.insert(label, payload);
-            self.metrics.record_insert(outcome);
-            self.metrics
-                .record_promotions(u64::from(trial.level() - level_before));
+            tally.record(trial.insert(label, payload));
+            tally.promotions += u64::from(trial.level() - level_before);
         }
+        self.metrics.record_insert_tally(&tally);
     }
 
     /// Observe an item of any hashable type, folding it into the label
@@ -138,19 +142,21 @@ impl<V: Payload> GtSketch<V> {
 
     /// Observe one `(label, payload)` item, merging the payload into the
     /// stored one on duplicate arrivals (see
-    /// [`CoordinatedTrial::insert_merging`]).
+    /// [`CoordinatedTrial::insert_merging`]). Metrics are tallied on the
+    /// stack and flushed once, like [`GtSketch::insert_with`].
     #[inline]
     pub fn insert_merging_with(&mut self, label: u64, payload: V) {
+        let mut tally = InsertTally::default();
         for trial in &mut self.trials {
             let level_before = trial.level();
             let outcome = trial.insert_merging(label, payload);
-            self.metrics.record_insert(outcome);
+            tally.record(outcome);
             if outcome == TrialInsert::Duplicate {
-                self.metrics.record_local_reconciliation();
+                tally.local_reconciliations += 1;
             }
-            self.metrics
-                .record_promotions(u64::from(trial.level() - level_before));
+            tally.promotions += u64::from(trial.level() - level_before);
         }
+        self.metrics.record_insert_tally(&tally);
     }
 
     /// Observe a batch of `(label, payload)` items with trial-major loop
@@ -159,18 +165,32 @@ impl<V: Payload> GtSketch<V> {
     ///
     /// Semantically identical to calling [`GtSketch::insert_with`] per
     /// item (each trial is independent, and within one trial the item
-    /// order is preserved), but the hash coefficients and sample table of
-    /// one trial stay hot across the entire batch instead of being
-    /// evicted `trials` times per item — a standard loop-interchange win
-    /// measured by the `e4_ingest_batched` benchmark.
+    /// order is preserved), but each trial runs the batch-monomorphic
+    /// kernel ([`CoordinatedTrial::extend_pairs_kernel`]): labels are
+    /// hashed in bulk with the hash-family enum dispatched once per
+    /// [`crate::trial::KERNEL_CHUNK`] labels, below-level items are
+    /// rejected by one compare against the raw hash, and the trial's
+    /// coefficients and sample table stay hot for the whole batch. The
+    /// per-item vs batched vs kernel gap is measured by experiment `e4`
+    /// (`experiments e4`, results in `results/BENCH_ingest.json`).
     pub fn insert_batch_with(&mut self, items: &[(u64, V)]) {
         let mut tally = InsertTally::default();
         for trial in &mut self.trials {
-            let level_before = trial.level();
-            for &(label, payload) in items {
-                tally.record(trial.insert(label, payload));
-            }
-            tally.promotions += u64::from(trial.level() - level_before);
+            trial.extend_pairs_kernel::<false>(items, &mut tally);
+        }
+        self.metrics.record_insert_tally(&tally);
+    }
+
+    /// Batch counterpart of [`GtSketch::insert_merging_with`]: observe
+    /// `(label, payload)` items through the kernel, reconciling duplicate
+    /// arrivals as `stored.merge(incoming)` — so payload-carrying
+    /// workloads get the same fast path as plain distinct counting.
+    /// Bitwise-identical (samples, levels, and metric snapshots) to the
+    /// per-item merging loop.
+    pub fn insert_batch_merging_with(&mut self, items: &[(u64, V)]) {
+        let mut tally = InsertTally::default();
+        for trial in &mut self.trials {
+            trial.extend_pairs_kernel::<true>(items, &mut tally);
         }
         self.metrics.record_insert_tally(&tally);
     }
@@ -273,16 +293,47 @@ impl DistinctSketch {
     }
 
     /// Observe every label from an iterator.
+    ///
+    /// Labels are gathered into an internal fixed-size stack buffer
+    /// ([`INGEST_BUF`] entries) and each full buffer is driven through the
+    /// batch-monomorphic kernel, so iterator callers get the same fast
+    /// path as [`DistinctSketch::extend_slice`] without allocating. Per
+    /// the coordination contract the resulting sketch state is
+    /// bitwise-identical to inserting each label individually.
     pub fn extend_labels(&mut self, labels: impl IntoIterator<Item = u64>) {
+        let mut tally = InsertTally::default();
+        let mut buf = [0u64; INGEST_BUF];
+        let mut len = 0usize;
         for label in labels {
-            self.insert(label);
+            buf[len] = label;
+            len += 1;
+            if len == INGEST_BUF {
+                self.ingest_slice(&buf, &mut tally);
+                len = 0;
+            }
         }
+        if len > 0 {
+            self.ingest_slice(&buf[..len], &mut tally);
+        }
+        self.metrics.record_insert_tally(&tally);
     }
 
-    /// Observe a slice of labels with the batched (trial-major) loop
-    /// order — the fastest bulk-ingest path; see
-    /// [`GtSketch::insert_batch_with`].
+    /// Observe a slice of labels through the batch-monomorphic kernel —
+    /// the fastest bulk-ingest path (see [`GtSketch::insert_batch_with`]
+    /// for the kernel description; experiment `e4` for the numbers).
     pub fn extend_slice(&mut self, labels: &[u64]) {
+        let mut tally = InsertTally::default();
+        self.ingest_slice(labels, &mut tally);
+        self.metrics.record_insert_tally(&tally);
+    }
+
+    /// Observe a slice with the *pre-kernel* trial-major loop: plain
+    /// per-item `insert` calls, interchanged so each trial sweeps the
+    /// whole slice. Kept as the documented reference implementation the
+    /// kernel is tested against, and as the `batched` contender in
+    /// experiment `e4`; use [`DistinctSketch::extend_slice`] for real
+    /// ingest.
+    pub fn extend_slice_reference(&mut self, labels: &[u64]) {
         let mut tally = InsertTally::default();
         for trial in &mut self.trials {
             let level_before = trial.level();
@@ -293,7 +344,19 @@ impl DistinctSketch {
         }
         self.metrics.record_insert_tally(&tally);
     }
+
+    /// Trial-major kernel sweep without the metrics flush (callers batch
+    /// the flush across multiple slices).
+    fn ingest_slice(&mut self, labels: &[u64], tally: &mut InsertTally) {
+        for trial in &mut self.trials {
+            trial.extend_labels_kernel(labels, tally);
+        }
+    }
 }
+
+/// Stack-buffer length used by [`DistinctSketch::extend_labels`] to feed
+/// iterator input through the batch kernel (8 KiB of labels).
+pub const INGEST_BUF: usize = 1024;
 
 /// Outcome statistics from inserting a batch (diagnostics for tuning).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -311,15 +374,15 @@ impl DistinctSketch {
     /// ingest benchmarks to show where time goes).
     pub fn extend_labels_stats(&mut self, labels: impl IntoIterator<Item = u64>) -> InsertStats {
         let mut stats = InsertStats::default();
+        let mut tally = InsertTally::default();
         for label in labels {
             let mut any_sampled = false;
             let mut any_dup = false;
             for trial in &mut self.trials {
                 let level_before = trial.level();
                 let outcome = trial.insert(label, ());
-                self.metrics.record_insert(outcome);
-                self.metrics
-                    .record_promotions(u64::from(trial.level() - level_before));
+                tally.record(outcome);
+                tally.promotions += u64::from(trial.level() - level_before);
                 match outcome {
                     TrialInsert::Sampled | TrialInsert::SampledAfterPromotion => any_sampled = true,
                     TrialInsert::Duplicate => any_dup = true,
@@ -334,6 +397,7 @@ impl DistinctSketch {
                 stats.below_level += 1;
             }
         }
+        self.metrics.record_insert_tally(&tally);
         stats
     }
 }
@@ -506,6 +570,79 @@ mod tests {
             pairs.estimate_distinct().value,
             per_item.estimate_distinct().value
         );
+    }
+
+    #[test]
+    fn every_ingest_path_agrees_on_state_and_metrics() {
+        // The kernel, the reference trial-major loop, the buffered
+        // iterator path, and plain per-item inserts must all leave the
+        // sketch in bitwise-identical state AND report identical metric
+        // snapshots. Length > INGEST_BUF exercises the buffer flush.
+        let config = cfg(0.2, 0.2);
+        let data: Vec<u64> = labels(3 * INGEST_BUF as u64 + 17, 40).collect();
+
+        let mut per_item = DistinctSketch::new(&config, 41);
+        for &l in &data {
+            per_item.insert(l);
+        }
+        let mut kernel = DistinctSketch::new(&config, 41);
+        kernel.extend_slice(&data);
+        let mut reference = DistinctSketch::new(&config, 41);
+        reference.extend_slice_reference(&data);
+        let mut buffered = DistinctSketch::new(&config, 41);
+        buffered.extend_labels(data.iter().copied());
+
+        let state = |s: &DistinctSketch| -> Vec<(u8, u64, std::collections::BTreeSet<u64>)> {
+            s.trials()
+                .iter()
+                .map(|t| {
+                    (
+                        t.level(),
+                        t.items_observed(),
+                        t.sample_iter().map(|(k, _)| k).collect(),
+                    )
+                })
+                .collect()
+        };
+        let want_state = state(&per_item);
+        let want_metrics = per_item.metrics_snapshot();
+        for (name, s) in [
+            ("kernel", &kernel),
+            ("reference", &reference),
+            ("buffered", &buffered),
+        ] {
+            assert_eq!(state(s), want_state, "{name} state diverged");
+            assert_eq!(
+                s.metrics_snapshot(),
+                want_metrics,
+                "{name} metrics diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_merging_matches_per_item_merging() {
+        let config = cfg(0.2, 0.2);
+        let items: Vec<(u64, u64)> = labels(4_000, 42).map(|l| (l, l ^ 0x1234)).collect();
+        // Two passes with different payloads so duplicates must reconcile.
+        let second: Vec<(u64, u64)> = items.iter().map(|&(l, p)| (l, p ^ 0xFFFF)).collect();
+
+        let mut per_item = GtSketch::<u64>::new(&config, 43);
+        for &(l, p) in items.iter().chain(second.iter()) {
+            per_item.insert_merging_with(l, p);
+        }
+        let mut batched = GtSketch::<u64>::new(&config, 43);
+        batched.insert_batch_merging_with(&items);
+        batched.insert_batch_merging_with(&second);
+
+        let state = |s: &GtSketch<u64>| -> Vec<(u8, std::collections::BTreeMap<u64, u64>)> {
+            s.trials()
+                .iter()
+                .map(|t| (t.level(), t.sample_iter().collect()))
+                .collect()
+        };
+        assert_eq!(state(&batched), state(&per_item));
+        assert_eq!(batched.metrics_snapshot(), per_item.metrics_snapshot());
     }
 
     #[test]

@@ -18,10 +18,17 @@
 //! `2^{-l}` (pairwise-independently, to be precise), `|S|·2^l` is an
 //! unbiased estimate of the number of distinct labels observed.
 
-use gt_hash::{HashFamily, LevelHasher, MAX_LEVEL};
+use gt_hash::{level_of_hash, survival_mask, HashFamily, LevelHasher, MAX_LEVEL};
 
 use crate::error::{Result, SketchError};
+use crate::metrics::InsertTally;
 use crate::sampleset::{FixedCapMap, InsertOutcome};
+
+/// Labels hashed per monomorphic kernel dispatch in the batch-ingest
+/// kernels: large enough to amortize the one-per-chunk enum dispatch to
+/// nothing, small enough that the hash buffers live comfortably on the
+/// stack (2 × 2 KiB).
+pub const KERNEL_CHUNK: usize = 256;
 
 /// Payload attached to each sampled label.
 ///
@@ -211,6 +218,15 @@ impl<V: Payload> CoordinatedTrial<V> {
         if lvl < self.level {
             return TrialInsert::BelowLevel;
         }
+        self.insert_qualified(label, lvl, payload)
+    }
+
+    /// Sample-insertion slow path shared by [`CoordinatedTrial::insert`]
+    /// and the batch kernels: the label is already known to qualify
+    /// (`lvl ≥ self.level`) and `items_observed` is already counted.
+    #[inline]
+    fn insert_qualified(&mut self, label: u64, lvl: u8, payload: V) -> TrialInsert {
+        debug_assert!(lvl >= self.level);
         let mut promoted = false;
         loop {
             match self.sample.try_insert(label, payload) {
@@ -231,6 +247,83 @@ impl<V: Payload> CoordinatedTrial<V> {
                 }
             }
         }
+    }
+
+    /// Batch-observe a slice of labels (payload `V::default()`) through
+    /// the monomorphic ingest kernel.
+    ///
+    /// Per [`KERNEL_CHUNK`]-sized chunk: one [`HashFamily::hash_slice_into`]
+    /// call hashes the whole chunk with the family enum dispatched once,
+    /// then each raw hash is screened against the cached survival mask of
+    /// the current level — the dominant below-level case is a single
+    /// AND+compare with no map probe — and only survivors take the
+    /// sample-insertion slow path (reusing the already-computed hash for
+    /// their level). Outcomes accumulate into `tally`; callers flush it
+    /// once per batch via `SketchMetrics::record_insert_tally`.
+    ///
+    /// Bitwise-identical in sample, level, `items_observed`, and tallied
+    /// outcomes to calling [`CoordinatedTrial::insert`] per item in slice
+    /// order (property-tested).
+    pub fn extend_labels_kernel(&mut self, labels: &[u64], tally: &mut InsertTally) {
+        let level_before = self.level;
+        let mut hashes = [0u64; KERNEL_CHUNK];
+        for chunk in labels.chunks(KERNEL_CHUNK) {
+            let hashes = &mut hashes[..chunk.len()];
+            self.hasher.hash_slice_into(chunk, hashes);
+            self.items_observed += chunk.len() as u64;
+            let mut mask = survival_mask(self.level);
+            for (&label, &h) in chunk.iter().zip(hashes.iter()) {
+                if h & mask != 0 {
+                    tally.below_level += 1;
+                    continue;
+                }
+                tally.record(self.insert_qualified(label, level_of_hash(h), V::default()));
+                // An insert may have promoted the level; refresh the mask.
+                mask = survival_mask(self.level);
+            }
+        }
+        tally.promotions += u64::from(self.level - level_before);
+    }
+
+    /// Batch-observe `(label, payload)` pairs through the same kernel as
+    /// [`CoordinatedTrial::extend_labels_kernel`]. With `MERGING = true`,
+    /// duplicate arrivals reconcile payloads in place as
+    /// `stored.merge(incoming)` — the canonical argument order — and count
+    /// into `tally.local_reconciliations`; with `MERGING = false` the
+    /// stored payload is kept untouched, matching
+    /// [`CoordinatedTrial::insert`].
+    pub fn extend_pairs_kernel<const MERGING: bool>(
+        &mut self,
+        items: &[(u64, V)],
+        tally: &mut InsertTally,
+    ) {
+        let level_before = self.level;
+        let mut labels = [0u64; KERNEL_CHUNK];
+        let mut hashes = [0u64; KERNEL_CHUNK];
+        for chunk in items.chunks(KERNEL_CHUNK) {
+            let labels = &mut labels[..chunk.len()];
+            for (slot, &(label, _)) in labels.iter_mut().zip(chunk.iter()) {
+                *slot = label;
+            }
+            let hashes = &mut hashes[..chunk.len()];
+            self.hasher.hash_slice_into(labels, hashes);
+            self.items_observed += chunk.len() as u64;
+            let mut mask = survival_mask(self.level);
+            for (&(label, payload), &h) in chunk.iter().zip(hashes.iter()) {
+                if h & mask != 0 {
+                    tally.below_level += 1;
+                    continue;
+                }
+                let outcome = self.insert_qualified(label, level_of_hash(h), payload);
+                tally.record(outcome);
+                if MERGING && outcome == TrialInsert::Duplicate {
+                    self.sample.update(label, |v| *v = v.merge(payload));
+                    tally.local_reconciliations += 1;
+                }
+                mask = survival_mask(self.level);
+            }
+        }
+        tally.promotions += u64::from(self.level - level_before);
     }
 
     /// Like [`CoordinatedTrial::insert`], but a duplicate arrival *merges*
@@ -704,6 +797,56 @@ mod tests {
         let union_payload = first.sample_iter().find(|&(k, _)| k == label).unwrap().1;
         assert_eq!(local_payload, 111, "local path must keep the first payload");
         assert_eq!(union_payload, 111, "union path must keep the first payload");
+    }
+
+    #[test]
+    fn labels_kernel_is_bitwise_identical_to_per_item_insert() {
+        // Sizes straddle KERNEL_CHUNK so both the full-chunk and the
+        // remainder paths run, and the capacity forces mid-batch
+        // promotions (the mask-refresh path).
+        for n in [0u64, 1, 255, 256, 257, 5_000] {
+            let v: Vec<u64> = labels(n, 30).collect();
+            let mut per_item = trial(32, 31);
+            let mut per_item_tally = InsertTally::default();
+            for &x in &v {
+                let before = per_item.level();
+                per_item_tally.record(per_item.insert(x, ()));
+                per_item_tally.promotions += u64::from(per_item.level() - before);
+            }
+            let mut kernel = trial(32, 31);
+            let mut kernel_tally = InsertTally::default();
+            kernel.extend_labels_kernel(&v, &mut kernel_tally);
+            assert_eq!(kernel.level(), per_item.level(), "n = {n}");
+            assert_eq!(kernel.items_observed(), per_item.items_observed());
+            let set = |t: &CoordinatedTrial<()>| -> std::collections::BTreeSet<u64> {
+                t.sample_iter().map(|(k, _)| k).collect()
+            };
+            assert_eq!(set(&kernel), set(&per_item), "n = {n}");
+            assert_eq!(kernel_tally, per_item_tally, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn merging_pairs_kernel_reconciles_like_insert_merging() {
+        let hasher = HashFamilyKind::Pairwise.build(FamilySeed(33));
+        let items: Vec<(u64, u64)> = labels(3_000, 32)
+            .chain(labels(3_000, 32)) // second pass: all duplicates
+            .enumerate()
+            .map(|(i, l)| (l, i as u64))
+            .collect();
+        let mut per_item: CoordinatedTrial<u64> = CoordinatedTrial::new(hasher.clone(), 64);
+        for &(l, p) in &items {
+            per_item.insert_merging(l, p);
+        }
+        let mut kernel: CoordinatedTrial<u64> = CoordinatedTrial::new(hasher, 64);
+        let mut tally = InsertTally::default();
+        kernel.extend_pairs_kernel::<true>(&items, &mut tally);
+        let state = |t: &CoordinatedTrial<u64>| -> std::collections::BTreeMap<u64, u64> {
+            t.sample_iter().collect()
+        };
+        assert_eq!(state(&kernel), state(&per_item));
+        assert_eq!(kernel.level(), per_item.level());
+        assert_eq!(tally.duplicate, tally.local_reconciliations);
     }
 
     #[test]

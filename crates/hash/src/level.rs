@@ -19,6 +19,35 @@ use crate::tabulation::Tabulation;
 /// a value of zero (or with ≥ 60 trailing zeros) is capped here.
 pub const MAX_LEVEL: u8 = 60;
 
+/// The sampling level of a raw hash value: its trailing zeros, capped at
+/// [`MAX_LEVEL`] (a hash of zero counts as all-zeros and lands on the cap).
+///
+/// Split out from [`LevelHasher::level`] so batch kernels that hold raw
+/// hashes (from [`HashFamily::hash_slice_into`]) can derive levels without
+/// re-hashing.
+#[inline]
+pub fn level_of_hash(h: u64) -> u8 {
+    if h == 0 {
+        MAX_LEVEL
+    } else {
+        (h.trailing_zeros() as u8).min(MAX_LEVEL)
+    }
+}
+
+/// Bit mask characterizing survival at a sampling level: a raw hash `h`
+/// qualifies for level `l` (i.e. `level_of_hash(h) ≥ l`) iff
+/// `h & survival_mask(l) == 0`.
+///
+/// This turns the dominant below-level rejection on the ingest hot path
+/// into a single AND+compare against a cached mask — no `trailing_zeros`,
+/// no branch on `h == 0` (zero passes every mask, matching its
+/// [`MAX_LEVEL`] assignment), and no sample-table probe.
+#[inline]
+pub fn survival_mask(level: u8) -> u64 {
+    debug_assert!(level <= MAX_LEVEL, "level {level} exceeds {MAX_LEVEL}");
+    (1u64 << level) - 1
+}
+
 /// Anything that can hash a label and assign it a sampling level.
 pub trait LevelHasher {
     /// Hash a label from `[0, 2^61 − 1)` into `[0, 2^61)`.
@@ -28,12 +57,7 @@ pub trait LevelHasher {
     /// [`MAX_LEVEL`]. `Pr[level(x) ≥ l] = 2^{-l}` for a sound family.
     #[inline]
     fn level(&self, x: u64) -> u8 {
-        let h = self.hash_label(x);
-        if h == 0 {
-            MAX_LEVEL
-        } else {
-            (h.trailing_zeros() as u8).min(MAX_LEVEL)
-        }
+        level_of_hash(self.hash_label(x))
     }
 }
 
@@ -103,6 +127,33 @@ pub enum HashFamily {
     Tabulation(Tabulation),
     /// One of the deliberately broken ablation hashes.
     Sabotaged(Sabotaged),
+}
+
+impl HashFamily {
+    /// Hash a slice of labels, writing `h(labels[i])` to `out[i]`.
+    ///
+    /// The batch-monomorphic ingest primitive: the family enum is
+    /// dispatched **once per call**, and each arm runs the concrete
+    /// hasher's own bulk loop ([`Pairwise61::eval_into`] and friends) —
+    /// a tight monomorphic loop the compiler can keep in registers and
+    /// vectorize, instead of a jump-table indirection per item.
+    ///
+    /// # Panics
+    /// Panics if `labels` and `out` differ in length.
+    pub fn hash_slice_into(&self, labels: &[u64], out: &mut [u64]) {
+        assert_eq!(
+            labels.len(),
+            out.len(),
+            "hash_slice_into needs equal-length label and output slices"
+        );
+        match self {
+            HashFamily::Pairwise(h) => h.eval_into(labels, out),
+            HashFamily::Polynomial(h) => h.eval_into(labels, out),
+            HashFamily::MultiplyShift(h) => h.eval_into(labels, out),
+            HashFamily::Tabulation(h) => h.eval_into(labels, out),
+            HashFamily::Sabotaged(h) => h.eval_into(labels, out),
+        }
+    }
 }
 
 impl LevelHasher for HashFamily {
@@ -232,6 +283,62 @@ mod tests {
         let g = count_ge(&good, 6) as f64;
         let b = count_ge(&bad, 6) as f64;
         assert!(b > 4.0 * g, "good {g}, shifted {b}");
+    }
+
+    #[test]
+    fn hash_slice_into_matches_per_item_eval_for_every_family() {
+        let labels: Vec<u64> = (0..1_000u64).map(crate::mix::fold61).collect();
+        for kind in [
+            HashFamilyKind::Pairwise,
+            HashFamilyKind::KWise(4),
+            HashFamilyKind::MultiplyShift,
+            HashFamilyKind::Tabulation,
+            HashFamilyKind::SabotagedShift(3),
+            HashFamilyKind::SabotagedLowEntropy,
+            HashFamilyKind::SabotagedIdentity,
+        ] {
+            let h = kind.build(seed(9));
+            let mut out = vec![0u64; labels.len()];
+            h.hash_slice_into(&labels, &mut out);
+            for (&x, &got) in labels.iter().zip(out.iter()) {
+                assert_eq!(got, h.hash_label(x), "{kind:?} label {x}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn hash_slice_into_rejects_length_mismatch() {
+        let h = HashFamilyKind::Pairwise.build(seed(1));
+        let mut out = [0u64; 2];
+        h.hash_slice_into(&[1, 2, 3], &mut out);
+    }
+
+    #[test]
+    fn survival_mask_agrees_with_level_of_hash() {
+        // The mask compare must classify exactly like the level compare,
+        // for every level a trial can reach and adversarial hash shapes.
+        let hashes = [
+            0u64,
+            1,
+            2,
+            8,
+            96,
+            1 << 45,
+            1 << 60,
+            (1 << 61) - 2,
+            0xDEAD_BEEF_0000,
+        ];
+        for level in 0..=MAX_LEVEL {
+            let mask = survival_mask(level);
+            for &h in &hashes {
+                assert_eq!(
+                    h & mask == 0,
+                    level_of_hash(h) >= level,
+                    "hash {h:#x} at level {level}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod seeds;
 pub mod tabulation;
 
 pub use field61::{Field61, P61};
-pub use level::{HashFamily, HashFamilyKind, LevelHasher, MAX_LEVEL};
+pub use level::{level_of_hash, survival_mask, HashFamily, HashFamilyKind, LevelHasher, MAX_LEVEL};
 pub use mix::{fold61, mix64};
 pub use multiply_shift::MultiplyShift;
 pub use pairwise::{Pairwise61, Polynomial61};

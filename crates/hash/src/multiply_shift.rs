@@ -44,6 +44,15 @@ impl MultiplyShift {
     pub fn eval(&self, x: u64) -> u64 {
         self.a.wrapping_mul(x) >> (64 - OUT_BITS)
     }
+
+    /// Evaluate the hash over a slice, writing `h(labels[i])` to `out[i]`
+    /// (the bulk primitive behind `HashFamily::hash_slice_into`).
+    pub fn eval_into(&self, labels: &[u64], out: &mut [u64]) {
+        let a = self.a;
+        for (o, &x) in out.iter_mut().zip(labels) {
+            *o = a.wrapping_mul(x) >> (64 - OUT_BITS);
+        }
+    }
 }
 
 #[cfg(test)]

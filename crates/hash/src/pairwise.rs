@@ -70,6 +70,18 @@ impl Pairwise61 {
         debug_assert!(x < P61, "label outside the [0, 2^61-1) universe");
         mul_add61(self.a, x, self.b)
     }
+
+    /// Evaluate the hash over a slice, writing `h(labels[i])` to `out[i]`.
+    ///
+    /// The bulk primitive behind `HashFamily::hash_slice_into`: a
+    /// monomorphic tight loop over one concrete function, with the field
+    /// coefficients held in registers for the whole slice.
+    pub fn eval_into(&self, labels: &[u64], out: &mut [u64]) {
+        let h = *self;
+        for (o, &x) in out.iter_mut().zip(labels) {
+            *o = h.eval(x);
+        }
+    }
 }
 
 /// A degree-`k` polynomial hash over `GF(2^61 − 1)`: `k`-wise independent.
@@ -104,6 +116,14 @@ impl Polynomial61 {
             acc = mul_add61(acc, x, c);
         }
         acc
+    }
+
+    /// Evaluate the polynomial over a slice, writing `h(labels[i])` to
+    /// `out[i]` (the bulk primitive behind `HashFamily::hash_slice_into`).
+    pub fn eval_into(&self, labels: &[u64], out: &mut [u64]) {
+        for (o, &x) in out.iter_mut().zip(labels) {
+            *o = self.eval(x);
+        }
     }
 }
 

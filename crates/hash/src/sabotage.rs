@@ -69,6 +69,26 @@ impl Sabotaged {
             Sabotaged::Identity => x % P61,
         }
     }
+
+    /// Evaluate the hash over a slice, writing `h(labels[i])` to `out[i]`
+    /// (the bulk primitive behind `HashFamily::hash_slice_into`; the
+    /// saboteur variant is dispatched once per slice, not once per item).
+    pub fn eval_into(&self, labels: &[u64], out: &mut [u64]) {
+        match self {
+            Sabotaged::ShiftedLevels { inner, k } => {
+                let k = *k;
+                for (o, &x) in out.iter_mut().zip(labels) {
+                    *o = (inner.eval(x) << k) & ((1u64 << 61) - 1);
+                }
+            }
+            Sabotaged::LowEntropy { inner } => inner.eval_into(labels, out),
+            Sabotaged::Identity => {
+                for (o, &x) in out.iter_mut().zip(labels) {
+                    *o = x % P61;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,15 @@ impl Tabulation {
         acc
     }
 
+    /// Evaluate the hash over a slice, writing `h(labels[i])` to `out[i]`
+    /// (the bulk primitive behind `HashFamily::hash_slice_into`; keeps the
+    /// lookup tables hot in cache across the whole slice).
+    pub fn eval_into(&self, labels: &[u64], out: &mut [u64]) {
+        for (o, &x) in out.iter_mut().zip(labels) {
+            *o = self.eval(x);
+        }
+    }
+
     /// Size of the table material in bytes (for space accounting).
     pub fn table_bytes(&self) -> usize {
         self.tables.len() * std::mem::size_of::<u64>()

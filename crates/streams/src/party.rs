@@ -56,9 +56,11 @@ impl Party {
         self.sketch.insert(label);
     }
 
-    /// Observe an entire stream.
+    /// Observe an entire stream through the batch-monomorphic kernel
+    /// (see [`DistinctSketch::extend_slice`]) — same state as calling
+    /// [`Party::observe`] per label, measured faster by experiment `e4`.
     pub fn observe_stream(&mut self, stream: &[u64]) {
-        self.sketch.extend_labels(stream.iter().copied());
+        self.sketch.extend_slice(stream);
     }
 
     /// Read access to the local sketch (e.g. for local-only estimates).

@@ -3,9 +3,11 @@
 //!
 //! One OS thread per party observes its stream and sends its single
 //! end-of-stream [`PartyMessage`] over a crossbeam channel; the referee
-//! (on the caller's thread) merges messages as they arrive. Ground truth
-//! is computed by the oracle, and everything an experiment needs lands in
-//! one [`ScenarioReport`].
+//! (on the caller's thread) decodes and merges messages **while the
+//! remaining parties are still observing**, so referee work is pipelined
+//! with the observation phase instead of serialized after it. Ground
+//! truth is computed by the oracle, and everything an experiment needs
+//! lands in one [`ScenarioReport`].
 
 use std::time::{Duration, Instant};
 
@@ -45,14 +47,17 @@ pub struct ScenarioReport {
     /// Per-party observe/encode timings (index = party id) — what each
     /// party actually spent, as opposed to the wall clock of the phase.
     pub party_phases: Vec<PartyPhases>,
-    /// Wall time of the parallel observation phase (slowest party plus
-    /// thread overhead).
+    /// Wall time of the pipelined observe-and-merge phase (slowest party
+    /// plus thread overhead plus any referee work trailing the last
+    /// message).
     pub observe_wall: Duration,
     /// Referee telemetry: decode outcomes and decode/merge phase timings.
     pub referee_telemetry: RefereeTelemetry,
     /// Observability counters of the referee's union sketch.
     pub union_metrics: gt_core::MetricsSnapshot,
-    /// Wall time for decode + union + estimate at the referee.
+    /// Referee busy time: accumulated decode + union across messages plus
+    /// the final estimate. Overlaps `observe_wall` (the referee merges
+    /// while parties still observe), so it is not additive with it.
     pub referee_time: Duration,
 }
 
@@ -115,6 +120,10 @@ pub fn run_scenario(
 
     let observe_start = Instant::now();
     let (tx, rx) = crossbeam::channel::unbounded::<(PartyMessage, PartyPhases)>();
+    let mut referee = Referee::new(config, master_seed);
+    let mut bytes_per_party = vec![0usize; t];
+    let mut party_phases = vec![PartyPhases::default(); t];
+    let mut referee_busy = Duration::ZERO;
     crossbeam::scope(|scope| {
         for (id, stream) in streams.streams.iter().enumerate() {
             let tx = tx.clone();
@@ -131,23 +140,24 @@ pub fn run_scenario(
             });
         }
         drop(tx);
+        // Referee loop, pipelined: runs on this thread while party
+        // threads are still observing; exits when every sender is done.
+        while let Ok((msg, phases)) = rx.recv() {
+            let busy_start = Instant::now();
+            bytes_per_party[msg.party_id] = msg.bytes();
+            party_phases[msg.party_id] = phases;
+            referee
+                .receive(&msg)
+                .expect("coordinated message must decode");
+            referee_busy += busy_start.elapsed();
+        }
     })
     .expect("party thread panicked");
     let observe_wall = observe_start.elapsed();
 
-    let referee_start = Instant::now();
-    let mut referee = Referee::new(config, master_seed);
-    let mut bytes_per_party = vec![0usize; t];
-    let mut party_phases = vec![PartyPhases::default(); t];
-    while let Ok((msg, phases)) = rx.recv() {
-        bytes_per_party[msg.party_id] = msg.bytes();
-        party_phases[msg.party_id] = phases;
-        referee
-            .receive(&msg)
-            .expect("coordinated message must decode");
-    }
+    let estimate_start = Instant::now();
     let estimate = referee.estimate_distinct().value;
-    let referee_time = referee_start.elapsed();
+    let referee_time = referee_busy + estimate_start.elapsed();
 
     let oracle = StreamOracle::of_streams(streams.streams.iter().map(|s| s.as_slice()));
     let truth = oracle.distinct();

@@ -162,6 +162,104 @@ proptest! {
     }
 }
 
+mod batch_equivalence {
+    use super::*;
+    use gt_sketch::GtSketch;
+
+    /// Per-trial (level, items observed, sorted (label, payload) sample).
+    type PayloadState = Vec<(u8, u64, Vec<(u64, u64)>)>;
+
+    /// Comparable state including payloads.
+    fn payload_state(s: &GtSketch<u64>) -> PayloadState {
+        s.trials()
+            .iter()
+            .map(|t| {
+                let mut v: Vec<(u64, u64)> = t.sample_iter().collect();
+                v.sort_unstable();
+                (t.level(), t.items_observed(), v)
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The batch-monomorphic kernel (`extend_slice`), the trial-major
+        /// reference loop, and the buffered iterator path must all be
+        /// bitwise-identical to per-item inserts — samples, levels, item
+        /// counts, AND metric snapshots. The narrow label range forces
+        /// duplicates; list length up to 600 forces promotions at
+        /// capacity 16.
+        #[test]
+        fn batch_paths_match_per_item(raw in vec(0u64..5_000, 0..600), seed in 0u64..16) {
+            let cfg = small_config();
+            let folded: Vec<u64> = raw.iter().map(|&l| gt_sketch::fold61(l)).collect();
+
+            let mut per_item = DistinctSketch::new(&cfg, seed);
+            for &l in &folded {
+                per_item.insert(l);
+            }
+            let mut kernel = DistinctSketch::new(&cfg, seed);
+            kernel.extend_slice(&folded);
+            let mut reference = DistinctSketch::new(&cfg, seed);
+            reference.extend_slice_reference(&folded);
+            let mut buffered = DistinctSketch::new(&cfg, seed);
+            buffered.extend_labels(folded.iter().copied());
+
+            for s in [&kernel, &reference, &buffered] {
+                prop_assert_eq!(state(s), state(&per_item));
+                prop_assert_eq!(s.items_observed(), per_item.items_observed());
+                prop_assert_eq!(s.metrics_snapshot(), per_item.metrics_snapshot());
+            }
+        }
+
+        /// The merging batch kernel must reconcile duplicate payloads
+        /// exactly like per-item `insert_merging_with` — payload values
+        /// and reconciliation counters included. Labels drawn from a tiny
+        /// universe so most arrivals are duplicates.
+        #[test]
+        fn merging_batch_matches_per_item(
+            pairs in vec((0u64..300, 0u64..1_000), 0..400),
+            seed in 0u64..8,
+        ) {
+            let cfg = small_config();
+            let items: Vec<(u64, u64)> = pairs
+                .iter()
+                .map(|&(l, p)| (gt_sketch::fold61(l), p))
+                .collect();
+
+            let mut per_item = GtSketch::<u64>::new(&cfg, seed);
+            for &(l, p) in &items {
+                per_item.insert_merging_with(l, p);
+            }
+            let mut batched = GtSketch::<u64>::new(&cfg, seed);
+            batched.insert_batch_merging_with(&items);
+
+            prop_assert_eq!(payload_state(&batched), payload_state(&per_item));
+            prop_assert_eq!(batched.metrics_snapshot(), per_item.metrics_snapshot());
+        }
+
+        /// Splitting a batch arbitrarily and ingesting the pieces through
+        /// the kernel equals one kernel call over the whole batch (the
+        /// buffer boundary in `extend_labels` must be invisible).
+        #[test]
+        fn batch_split_is_invisible(raw in vec(0u64..5_000, 0..500), cut in 0usize..500, seed in 0u64..8) {
+            let cfg = small_config();
+            let folded: Vec<u64> = raw.iter().map(|&l| gt_sketch::fold61(l)).collect();
+            let cut = cut.min(folded.len());
+
+            let mut whole = DistinctSketch::new(&cfg, seed);
+            whole.extend_slice(&folded);
+            let mut split = DistinctSketch::new(&cfg, seed);
+            split.extend_slice(&folded[..cut]);
+            split.extend_slice(&folded[cut..]);
+
+            prop_assert_eq!(state(&split), state(&whole));
+            prop_assert_eq!(split.metrics_snapshot(), whole.metrics_snapshot());
+        }
+    }
+}
+
 mod codec_robustness {
     use super::*;
     use gt_sketch::streams::codec::decode_sketch as decode;
