@@ -17,6 +17,7 @@ pub mod e13_predicate;
 pub mod e14_parallel_scaling;
 pub mod e15_heterogeneous;
 pub mod e16_window;
+pub mod e17_transport;
 
 use crate::table::Table;
 
@@ -114,6 +115,12 @@ pub const REGISTRY: &[Experiment] = &[
         id: "e16",
         description: "EXTENSION: sliding-window vs landmark recency queries",
         run: e16_window::run,
+    },
+    Experiment {
+        id: "e17",
+        description:
+            "collection plane under loss: retry budget vs union completeness (BENCH_transport.json)",
+        run: e17_transport::run,
     },
 ];
 

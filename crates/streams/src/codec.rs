@@ -103,7 +103,13 @@ pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-/// LEB128 varint read.
+/// LEB128 varint read, **canonical encodings only**.
+///
+/// A multi-byte encoding whose final byte is `0x00` contributes no bits
+/// and has a strictly shorter equivalent (e.g. `[0x80, 0x00]` for 0), so
+/// it is rejected as malformed. This makes the byte representation of
+/// every value unique, which [`payload_fingerprint`]-based duplicate
+/// detection relies on: one sketch state, one byte string.
 pub fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
@@ -115,12 +121,33 @@ pub fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
         if shift >= 63 && byte > 1 {
             return Err(CodecError::Malformed("varint overflows 64 bits"));
         }
+        if shift > 0 && byte == 0 {
+            return Err(CodecError::Malformed(
+                "non-canonical varint (over-long encoding)",
+            ));
+        }
         v |= ((byte & 0x7F) as u64) << shift;
         if byte & 0x80 == 0 {
             return Ok(v);
         }
         shift += 7;
     }
+}
+
+/// 64-bit FNV-1a over a message payload — the referee's duplicate-
+/// detection fingerprint.
+///
+/// Stable across processes (no per-run hasher seed), and well defined per
+/// sketch state because the wire format is canonical: samples are sorted
+/// before delta-coding and [`get_varint`] rejects over-long varints, so a
+/// given sketch has exactly one encoding and therefore one fingerprint.
+pub fn payload_fingerprint(payload: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in payload {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 fn put_hash_kind(buf: &mut BytesMut, kind: HashFamilyKind) {
@@ -479,5 +506,67 @@ mod tests {
         // 11 bytes of 0xFF can encode > 64 bits.
         let mut b = Bytes::from(vec![0xFFu8; 11]);
         assert!(get_varint(&mut b).is_err());
+    }
+
+    #[test]
+    fn varint_rejects_non_canonical_encodings() {
+        // Each of these decodes to a value with a shorter encoding, so a
+        // canonical codec must reject them (otherwise one sketch has many
+        // byte representations and the dedup fingerprint is ill-defined).
+        let cases: &[&[u8]] = &[
+            &[0x80, 0x00],                                                 // 0 in 2 bytes
+            &[0xFF, 0x00],                                                 // 127 in 2 bytes
+            &[0x80, 0x80, 0x00],                                           // 0 in 3 bytes
+            &[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x00], // 0 in 10
+        ];
+        for case in cases {
+            let mut b = Bytes::from(case.to_vec());
+            assert!(
+                matches!(get_varint(&mut b), Err(CodecError::Malformed(_))),
+                "{case:?} should be rejected as non-canonical"
+            );
+        }
+        // The single-byte encoding of zero stays legal.
+        let mut b = Bytes::from(vec![0x00u8]);
+        assert_eq!(get_varint(&mut b).unwrap(), 0);
+    }
+
+    #[test]
+    fn encoder_only_emits_canonical_varints() {
+        // Round-trip sweep including every byte-length boundary: what
+        // put_varint writes, the canonical reader accepts.
+        let mut edge = vec![0u64, 1];
+        for k in 1..=9u32 {
+            let b = 1u64 << (7 * k);
+            edge.extend([b - 1, b, b + 1]);
+        }
+        edge.push(u64::MAX);
+        for v in edge {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+            assert!(!b.has_remaining());
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_payloads_and_is_stable() {
+        let mut a = DistinctSketch::new(&cfg(), 3);
+        a.extend_labels((0..1_000).map(gt_hash::fold61));
+        let mut b = DistinctSketch::new(&cfg(), 3);
+        b.extend_labels((1..1_001).map(gt_hash::fold61));
+        let ea = encode_sketch(&a);
+        let eb = encode_sketch(&b);
+        // Same state, same fingerprint (deterministic re-encode)...
+        assert_eq!(
+            payload_fingerprint(&ea),
+            payload_fingerprint(&encode_sketch(&a))
+        );
+        // ...different states, different fingerprints (w.h.p.).
+        assert_ne!(payload_fingerprint(&ea), payload_fingerprint(&eb));
+        // Known vectors so the function cannot silently change: FNV-1a.
+        assert_eq!(payload_fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(payload_fingerprint(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 }

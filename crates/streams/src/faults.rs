@@ -1,8 +1,8 @@
-//! Fault injection: what the one-shot communication model does under
-//! message loss and corruption.
+//! Fault injection: what the communication model does under message loss
+//! and corruption.
 //!
-//! The paper's model sends each party's summary exactly once, so faults
-//! have crisp semantics worth testing rather than hand-waving:
+//! Faults here have crisp semantics worth testing rather than
+//! hand-waving:
 //!
 //! * **Corruption** is *detected, never absorbed*: the codec validates
 //!   magic, framing, and the sample invariant on decode, so a corrupted
@@ -13,25 +13,30 @@
 //!   *received* union. The shortfall against the full union is exactly
 //!   the distinct labels private to the lost parties, which this module
 //!   measures.
-//!
-//! This makes the operational story concrete: retry transport for lost
-//! messages if you need the full union; the sketch layer never silently
-//! lies about what it aggregated.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! * **Retry** closes the gap: this used to be an operator note ("retry
+//!   transport if you need the full union") — it is now implemented.
+//!   [`run_with_faults`] is a thin wrapper over a **one-shot**
+//!   [`crate::collector::Collector`] on the simulated
+//!   [`crate::transport`]; give the same collector a retry budget
+//!   ([`crate::collector::RetryPolicy::with_budget`]) and lost messages
+//!   are retransmitted with capped exponential backoff, with the
+//!   referee's `(party, fingerprint)` dedup keeping redeliveries
+//!   exactly-once. Experiment `e17` measures completeness and
+//!   time-to-full-union across drop probability × retry budget.
 
 use gt_core::SketchConfig;
 
+use crate::collector::{collect_once, RetryPolicy};
 use crate::oracle::StreamOracle;
 use crate::party::{Party, PartyMessage};
-use crate::referee::{Referee, RefereeTelemetry};
+use crate::referee::RefereeTelemetry;
+use crate::transport::{SendFate, TransportSpec, TransportTelemetry};
 use crate::workload::StreamSet;
 
 /// What happened to each party's single message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MessageFate {
-    /// Delivered intact and merged.
+    /// Delivered intact (or with a benign flip) and merged.
     Delivered,
     /// Dropped by the network; the referee never saw it.
     Dropped,
@@ -50,10 +55,28 @@ pub struct FaultSpec {
     pub seed: u64,
 }
 
+impl FaultSpec {
+    /// The equivalent transport model: the one-shot channel is the
+    /// general simulated transport with deterministic unit latency.
+    pub fn transport(&self) -> TransportSpec {
+        TransportSpec {
+            drop_probability: self.drop_probability,
+            corrupt_probability: self.corrupt_probability,
+            base_latency: 1,
+            jitter: 0,
+            straggle_probability: 0.0,
+            straggle_latency: 0,
+            seed: self.seed,
+        }
+    }
+}
+
 /// Aggregate message-fate counts. Delivered/rejected come straight from
 /// the referee's own telemetry (it is the authority on what it accepted);
-/// only the drop count is the channel's, since the referee never sees a
-/// dropped message.
+/// the drop count is the **channel's** — the referee never sees a dropped
+/// message, so only the channel can count them. (Deriving drops as
+/// `fates.len() - attempts` breaks as soon as retries give the referee
+/// more than one attempt per party.)
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FateCounts {
     /// Messages the referee accepted and merged.
@@ -70,8 +93,10 @@ pub struct FaultReport {
     /// Per-party fates.
     pub fates: Vec<MessageFate>,
     /// The referee's own per-stage accounting (decode failures by reason,
-    /// phase timings).
+    /// duplicate counts, phase timings).
     pub telemetry: RefereeTelemetry,
+    /// The channel's own accounting (authoritative for drops).
+    pub channel: TransportTelemetry,
     /// The referee's estimate over the messages it accepted.
     pub estimate: f64,
     /// Exact distinct count of the union of **all** streams.
@@ -87,90 +112,78 @@ pub struct FaultReport {
 }
 
 impl FaultReport {
-    /// Fate counts derived from the referee telemetry (not by re-scanning
-    /// [`FaultReport::fates`]): the referee reports what it accepted and
-    /// rejected; the remainder never reached it.
+    /// Fate counts, each from its authority: accepts and rejects from the
+    /// referee telemetry, drops from the channel telemetry (not by
+    /// re-scanning [`FaultReport::fates`]).
     pub fn fate_counts(&self) -> FateCounts {
         FateCounts {
             delivered: self.telemetry.accepted,
-            dropped: self.fates.len() - self.telemetry.attempts(),
+            dropped: self.channel.dropped,
             rejected: self.telemetry.rejected(),
         }
     }
 }
 
 /// Run a scenario where each party's single message passes through a
-/// lossy, corrupting channel. Corrupted messages must be *rejected* by
-/// the referee (this is asserted — silent absorption would be a codec
-/// bug).
+/// lossy, corrupting channel — the paper's one-shot model (no retries:
+/// [`RetryPolicy::one_shot`]). Corrupted messages are *rejected* by the
+/// referee rather than silently absorbed, unless the flip lands in a
+/// don't-care position and the decoded sketch is still valid.
 pub fn run_with_faults(
     config: &SketchConfig,
     master_seed: u64,
     streams: &StreamSet,
     faults: &FaultSpec,
 ) -> FaultReport {
-    let mut rng = SmallRng::seed_from_u64(faults.seed);
-    let mut referee = Referee::new(config, master_seed);
-    let mut fates = Vec::with_capacity(streams.streams.len());
-    let mut delivered_streams: Vec<&[u64]> = Vec::new();
+    let messages: Vec<PartyMessage> = streams
+        .streams
+        .iter()
+        .enumerate()
+        .map(|(id, stream)| {
+            let mut party = Party::new(id, config, master_seed);
+            party.observe_stream(stream);
+            party.finish()
+        })
+        .collect();
 
-    for (id, stream) in streams.streams.iter().enumerate() {
-        let mut party = Party::new(id, config, master_seed);
-        party.observe_stream(stream);
-        let mut msg: PartyMessage = party.finish();
+    let (report, referee) = collect_once(
+        config,
+        master_seed,
+        &messages,
+        faults.transport(),
+        RetryPolicy::one_shot(),
+    );
 
-        if rng.gen_bool(faults.drop_probability.clamp(0.0, 1.0)) {
-            fates.push(MessageFate::Dropped);
-            continue;
-        }
-        if rng.gen_bool(faults.corrupt_probability.clamp(0.0, 1.0)) {
-            let mut raw = msg.payload.to_vec();
-            // Flip a random byte somewhere after the magic word. Messages
-            // with no content past the magic corrupt their last byte
-            // instead (`gen_range(4..len)` would panic on them), and an
-            // empty payload has nothing to flip, so it falls through to
-            // plain delivery.
-            let idx = if raw.len() > 4 {
-                Some(rng.gen_range(4..raw.len()))
+    let fates: Vec<MessageFate> = report
+        .per_party
+        .iter()
+        .map(|p| {
+            if p.acked_at.is_some() {
+                MessageFate::Delivered
+            } else if p.last_fate == Some(SendFate::Dropped) {
+                MessageFate::Dropped
             } else {
-                raw.len().checked_sub(1)
-            };
-            if let Some(idx) = idx {
-                raw[idx] ^= 1u8 << rng.gen_range(0u32..8);
-                msg.payload = bytes::Bytes::from(raw);
-                match referee.receive(&msg) {
-                    Err(_) => {
-                        fates.push(MessageFate::CorruptedRejected);
-                        continue;
-                    }
-                    Ok(()) => {
-                        // The flipped bit can land in a don't-care position
-                        // (e.g. the items-observed diagnostic) and decode to a
-                        // STILL-VALID sketch; the referee merging it is
-                        // correct behaviour, not absorption of bad data.
-                        fates.push(MessageFate::Delivered);
-                        delivered_streams.push(stream);
-                        continue;
-                    }
-                }
+                MessageFate::CorruptedRejected
             }
-        }
-        referee
-            .receive(&msg)
-            .expect("intact coordinated message must decode");
-        fates.push(MessageFate::Delivered);
-        delivered_streams.push(stream);
-    }
+        })
+        .collect();
+    let delivered_streams = streams
+        .streams
+        .iter()
+        .zip(&fates)
+        .filter(|(_, &fate)| fate == MessageFate::Delivered)
+        .map(|(s, _)| s.as_slice());
 
     let full_oracle = StreamOracle::of_streams(streams.streams.iter().map(|s| s.as_slice()));
-    let received_oracle = StreamOracle::of_streams(delivered_streams.iter().copied());
+    let received_oracle = StreamOracle::of_streams(delivered_streams);
     let estimate = referee.estimate_distinct().value;
     let full_truth = full_oracle.distinct();
     let received_truth = received_oracle.distinct();
 
     FaultReport {
         fates,
-        telemetry: *referee.telemetry(),
+        telemetry: report.referee,
+        channel: report.transport,
         estimate,
         full_truth,
         received_truth,
@@ -186,6 +199,7 @@ pub fn run_with_faults(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::collector::collect_once;
     use crate::workload::{Distribution, WorkloadSpec};
 
     fn spec() -> WorkloadSpec {
@@ -245,6 +259,52 @@ mod tests {
     }
 
     #[test]
+    fn retries_beat_the_one_shot_channel() {
+        // The operational claim the module docs used to hand-wave, now
+        // measured: same drop probability, same seed, nonzero retry
+        // budget -> strictly more of the union delivered.
+        let streams = spec().generate();
+        let config = config();
+        let messages: Vec<PartyMessage> = streams
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(id, s)| {
+                let mut p = Party::new(id, &config, 7);
+                p.observe_stream(s);
+                p.finish()
+            })
+            .collect();
+        let faults = FaultSpec {
+            drop_probability: 0.5,
+            corrupt_probability: 0.0,
+            seed: 2,
+        };
+        let (one_shot, _) = collect_once(
+            &config,
+            7,
+            &messages,
+            faults.transport(),
+            RetryPolicy::one_shot(),
+        );
+        let (retried, referee) = collect_once(
+            &config,
+            7,
+            &messages,
+            faults.transport(),
+            RetryPolicy::with_budget(8),
+        );
+        assert!(
+            one_shot.parties_acked() < retried.parties_acked(),
+            "one-shot {} vs retried {}",
+            one_shot.parties_acked(),
+            retried.parties_acked()
+        );
+        assert_eq!(retried.parties_acked(), 10, "8 attempts at p=0.5");
+        assert!(referee.estimate_distinct_partial(10).is_complete());
+    }
+
+    #[test]
     fn corruption_is_detected_not_absorbed() {
         let streams = spec().generate();
         let faults = FaultSpec {
@@ -277,10 +337,11 @@ mod tests {
         assert_eq!(report.received_truth, 0);
         assert_eq!(report.loss_shortfall, 1.0);
         assert_eq!(report.error_vs_received, 0.0);
+        assert_eq!(report.fate_counts().dropped, 10);
     }
 
     #[test]
-    fn fate_counts_come_from_referee_telemetry() {
+    fn fate_counts_come_from_their_authorities() {
         let streams = spec().generate();
         let faults = FaultSpec {
             drop_probability: 0.3,
@@ -289,8 +350,10 @@ mod tests {
         };
         let report = run_with_faults(&config(), 7, &streams, &faults);
         let counts = report.fate_counts();
-        // Telemetry-derived counts must agree with the per-party fates the
-        // channel recorded.
+        // Authority-derived counts must agree with the per-party fates
+        // the channel recorded: accepts/rejects from the referee, drops
+        // from the channel (not `fates.len() - attempts`, which
+        // miscounts the moment a party is attempted more than once).
         let scan = |fate: MessageFate| report.fates.iter().filter(|&&f| f == fate).count();
         assert_eq!(counts.delivered, scan(MessageFate::Delivered));
         assert_eq!(counts.dropped, scan(MessageFate::Dropped));
@@ -301,6 +364,51 @@ mod tests {
         );
         // Rejections were all detected at the sketch/codec layer.
         assert_eq!(report.telemetry.rejected(), counts.rejected);
+    }
+
+    #[test]
+    fn fate_counts_stay_consistent_under_retries() {
+        // The regression the channel-side drop count fixes: with a retry
+        // budget, the referee records several attempts for one party; the
+        // old `fates.len() - attempts()` derivation would underflow here.
+        let streams = spec().generate();
+        let config = config();
+        let messages: Vec<PartyMessage> = streams
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(id, s)| {
+                let mut p = Party::new(id, &config, 7);
+                p.observe_stream(s);
+                p.finish()
+            })
+            .collect();
+        let faults = FaultSpec {
+            drop_probability: 0.4,
+            corrupt_probability: 0.2,
+            seed: 8,
+        };
+        let (report, referee) = collect_once(
+            &config,
+            7,
+            &messages,
+            faults.transport(),
+            RetryPolicy {
+                max_attempts: 6,
+                ack_drop_probability: 0.3,
+                ..RetryPolicy::one_shot()
+            },
+        );
+        let t = referee.telemetry();
+        // Channel-side conservation: every send was dropped or delivered.
+        assert_eq!(
+            report.transport.sends,
+            report.transport.dropped + report.transport.delivered
+        );
+        // Referee-side conservation: every delivery is accounted once.
+        assert_eq!(t.attempts(), report.transport.delivered);
+        // And drops exceed what any referee-side derivation could see.
+        assert!(report.transport.sends > messages.len());
     }
 
     #[test]

@@ -22,11 +22,20 @@
 //!   paper's motivating network-monitoring domain.
 //! * [`topology`] — hierarchical (tree) aggregation of party messages
 //!   through intermediate collectors, exact at any depth.
+//! * [`transport`] — a deterministic simulated channel (drop / corrupt /
+//!   delay / reorder on a virtual clock) that every fault experiment
+//!   shares, so loss schedules are reproducible from a seed.
+//! * [`collector`] — the at-least-once collection plane: ack / timeout /
+//!   retransmit rounds with capped exponential backoff over a
+//!   [`transport::Transport`], feeding an idempotent [`referee`].
+//! * [`faults`] — the one-shot fault harness of earlier experiments,
+//!   now a thin configuration of the transport + collector.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod collector;
 pub mod faults;
 pub mod netflow;
 pub mod oracle;
@@ -34,14 +43,19 @@ pub mod party;
 pub mod referee;
 pub mod runner;
 pub mod topology;
+pub mod transport;
 pub mod workload;
 
-pub use codec::{decode_sketch, encode_sketch};
+pub use codec::{decode_sketch, encode_sketch, payload_fingerprint};
+pub use collector::{collect_once, CollectionReport, Collector, PartyAttempts, RetryPolicy};
 pub use faults::{run_with_faults, FateCounts, FaultReport, FaultSpec, MessageFate};
 pub use netflow::{FlowRecord, FlowWorkload};
 pub use oracle::StreamOracle;
 pub use party::{Party, PartyMessage};
-pub use referee::{Referee, RefereeTelemetry};
-pub use runner::{run_scenario, PartyPhases, ScenarioReport};
+pub use referee::{PartialEstimate, Receipt, Referee, RefereeOf, RefereeTelemetry};
+pub use runner::{
+    run_resilient_scenario, run_scenario, PartyPhases, ResilientReport, ScenarioReport,
+};
 pub use topology::{aggregate_tree, HierarchicalReport};
+pub use transport::{Delivery, SendFate, Tick, Transport, TransportSpec, TransportTelemetry};
 pub use workload::{Distribution, StreamSet, WorkloadSpec};

@@ -13,9 +13,11 @@ use std::time::{Duration, Instant};
 
 use gt_core::SketchConfig;
 
+use crate::collector::{CollectionReport, Collector, RetryPolicy};
 use crate::oracle::StreamOracle;
 use crate::party::{Party, PartyMessage};
-use crate::referee::{Referee, RefereeTelemetry};
+use crate::referee::{PartialEstimate, Referee, RefereeTelemetry};
+use crate::transport::TransportSpec;
 use crate::workload::StreamSet;
 
 /// One party's own phase timings, measured on its thread.
@@ -179,6 +181,105 @@ pub fn run_scenario(
     }
 }
 
+/// Everything measured in one **resilient** scenario run: parties behind
+/// a faulty channel, a retrying collector, and degraded-mode coverage.
+#[derive(Clone, Debug)]
+pub struct ResilientReport {
+    /// The collection plane's accounting: attempts, retransmits,
+    /// duplicates, time-to-full-union, channel and referee telemetry.
+    pub collection: CollectionReport,
+    /// The degraded-mode answer: estimate plus coverage. When
+    /// [`PartialEstimate::is_complete`] the `(ε, δ)` contract covers the
+    /// full union; otherwise it covers the received union only.
+    pub partial: PartialEstimate,
+    /// Exact distinct count of the union of **all** streams.
+    pub full_truth: u64,
+    /// Exact distinct count of the union of the streams whose party was
+    /// heard.
+    pub received_truth: u64,
+    /// Relative error of the estimate against `received_truth` — the
+    /// quantity the `(ε, δ)` contract covers under faults.
+    pub error_vs_received: f64,
+}
+
+impl ResilientReport {
+    /// Fraction of the full union's distinct labels actually delivered —
+    /// the quantity experiment `e17` sweeps against drop probability and
+    /// retry budget.
+    pub fn union_completeness(&self) -> f64 {
+        if self.full_truth == 0 {
+            1.0
+        } else {
+            self.received_truth as f64 / self.full_truth as f64
+        }
+    }
+}
+
+/// Run a scenario through the resilient collection plane: parties observe
+/// on threads as in [`run_scenario`], but their messages cross the
+/// simulated faulty [`TransportSpec`] channel and a retrying
+/// [`Collector`] drives ack/timeout/retransmit rounds under `policy`.
+///
+/// Unlike [`run_scenario`], message loss is expected here: the report
+/// carries coverage instead of panicking on an incomplete union.
+pub fn run_resilient_scenario(
+    config: &SketchConfig,
+    master_seed: u64,
+    streams: &StreamSet,
+    spec: TransportSpec,
+    policy: RetryPolicy,
+) -> ResilientReport {
+    let t = streams.streams.len();
+    assert!(t > 0, "need at least one party");
+
+    // Observation phase: one thread per party, as in the clean runner.
+    let messages: Vec<PartyMessage> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = streams
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(id, stream)| {
+                scope.spawn(move |_| {
+                    let mut party = Party::new(id, config, master_seed);
+                    party.observe_stream(stream);
+                    party.finish()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("party thread panicked"))
+            .collect()
+    })
+    .expect("party thread panicked");
+
+    // Collection phase: retrying plane over the faulty channel.
+    let mut collector: Collector = Collector::new(config, master_seed, spec, policy);
+    let collection = collector.collect(&messages);
+    let referee = collector.into_referee();
+    let partial = referee.estimate_distinct_partial(t);
+
+    let full_oracle = StreamOracle::of_streams(streams.streams.iter().map(|s| s.as_slice()));
+    let received_oracle = StreamOracle::of_streams(
+        streams
+            .streams
+            .iter()
+            .zip(&collection.per_party)
+            .filter(|(_, p)| p.acked_at.is_some())
+            .map(|(s, _)| s.as_slice()),
+    );
+    let full_truth = full_oracle.distinct();
+    let received_truth = received_oracle.distinct();
+
+    ResilientReport {
+        collection,
+        partial,
+        full_truth,
+        received_truth,
+        error_vs_received: gt_core::relative_error(partial.estimate.value, received_truth as f64),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,17 +323,20 @@ mod tests {
         let streams = spec.generate();
         let config = SketchConfig::new(0.1, 0.1).unwrap();
         let report = run_scenario(&config, 21, &streams);
-        // Per-party phases were populated for every party.
+        // Per-party phases were populated for every party. Phase
+        // *ordering* invariants only — strict `> Duration::ZERO` checks
+        // are flaky on platforms whose monotonic clock is coarser than a
+        // fast decode, so positivity is not asserted here (counts below
+        // prove the stages ran).
         assert_eq!(report.party_phases.len(), 4);
-        assert!(report.max_party_observe() > Duration::ZERO);
         assert!(report.max_party_observe() <= report.observe_wall);
-        assert!(report.total_encode() > Duration::ZERO);
+        assert!(report.total_encode() <= report.observe_wall * 4);
         // Referee telemetry accounts for every message, by stage.
         let t = report.referee_telemetry;
         assert_eq!(t.accepted, 4);
         assert_eq!(t.rejected(), 0);
-        assert!(t.decode_time > Duration::ZERO);
-        assert!(t.merge_time > Duration::ZERO);
+        assert_eq!(t.duplicates(), 0);
+        assert_eq!(t.attempts(), 4);
         assert!(t.decode_time + t.merge_time <= report.referee_time);
         // Union sketch counters saw all four merges.
         assert_eq!(report.union_metrics.merge_calls, 4);
@@ -254,6 +358,64 @@ mod tests {
         let report = run_scenario(&config, 5, &streams);
         assert_eq!(report.relative_error, 0.0); // under capacity → exact
         assert_eq!(report.estimate, report.truth as f64);
+    }
+
+    #[test]
+    fn resilient_scenario_reports_coverage_under_loss() {
+        let spec = WorkloadSpec {
+            parties: 8,
+            distinct_per_party: 3_000,
+            overlap: 0.3,
+            items_per_party: 8_000,
+            distribution: Distribution::Uniform,
+            seed: 17,
+        };
+        let streams = spec.generate();
+        let config = SketchConfig::new(0.1, 0.05).unwrap();
+
+        // Reliable channel: complete union, matches the clean runner.
+        let clean = run_resilient_scenario(
+            &config,
+            33,
+            &streams,
+            TransportSpec::reliable(1),
+            RetryPolicy::one_shot(),
+        );
+        assert!(clean.partial.is_complete());
+        assert_eq!(clean.union_completeness(), 1.0);
+        assert_eq!(
+            clean.partial.estimate.value,
+            run_scenario(&config, 33, &streams).estimate,
+            "resilient plane over a perfect channel must equal the clean runner"
+        );
+
+        // Lossy channel, no retries: degraded mode with honest coverage.
+        let lossy = TransportSpec {
+            jitter: 0,
+            straggle_probability: 0.0,
+            ..TransportSpec::lossy(0.5, 0xBAD)
+        };
+        let degraded =
+            run_resilient_scenario(&config, 33, &streams, lossy, RetryPolicy::one_shot());
+        assert!(!degraded.partial.is_complete(), "p=0.5 must lose someone");
+        assert!(degraded.partial.coverage() < 1.0);
+        assert!(degraded.union_completeness() < 1.0);
+        assert!(
+            degraded.error_vs_received < 0.1,
+            "the contract still covers the received union: {}",
+            degraded.error_vs_received
+        );
+
+        // Same channel with a retry budget: strictly more of the union.
+        let retried =
+            run_resilient_scenario(&config, 33, &streams, lossy, RetryPolicy::with_budget(8));
+        assert!(
+            retried.partial.parties_heard > degraded.partial.parties_heard,
+            "retries must strictly improve coverage ({} vs {})",
+            retried.partial.parties_heard,
+            degraded.partial.parties_heard
+        );
+        assert!(retried.collection.retransmits > 0);
     }
 
     #[test]
