@@ -78,9 +78,11 @@ fn print_usage() {
     for e in REGISTRY {
         println!("  {:>4}  {}", e.id, e.description);
     }
-    println!("\ne4 and e14 also write machine-readable summaries:");
-    println!("  e4    results/BENCH_ingest.json    (per-item vs batched vs kernel throughput)");
-    println!("  e14   results/BENCH_parallel.json  (thread-sweep speedups, identity-checked)");
+    println!("\nsome experiments also write machine-readable summaries:");
+    println!("  e4    results/BENCH_ingest.json     (per-item vs batched vs kernel throughput)");
+    println!("  e14   results/BENCH_parallel.json   (thread-sweep speedups, identity-checked)");
+    println!("  e17   results/BENCH_transport.json  (loss sweep vs union completeness)");
+    println!("  e18   results/BENCH_concurrent.json (writer-sweep throughput + snapshot eps)");
     println!("\nCriterion benches for fine-grained time-domain numbers:");
     println!("  e4    cargo bench -p gt-bench --bench ingest     (per-item cost, throughput)");
     println!("  e10   cargo bench -p gt-bench --bench merge      (referee cost vs parties)");

@@ -18,6 +18,7 @@ pub mod e14_parallel_scaling;
 pub mod e15_heterogeneous;
 pub mod e16_window;
 pub mod e17_transport;
+pub mod e18_concurrent;
 
 use crate::table::Table;
 
@@ -121,6 +122,12 @@ pub const REGISTRY: &[Experiment] = &[
         description:
             "collection plane under loss: retry budget vs union completeness (BENCH_transport.json)",
         run: e17_transport::run,
+    },
+    Experiment {
+        id: "e18",
+        description:
+            "concurrent serving: multi-writer scaling + live snapshot validity (BENCH_concurrent.json)",
+        run: e18_concurrent::run,
     },
 ];
 

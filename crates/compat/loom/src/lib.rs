@@ -1,0 +1,66 @@
+//! Offline stand-in for `loom`: an exhaustive stateless model checker for
+//! actor-step concurrency models.
+//!
+//! The real `loom` crate intercepts `std::sync` primitives and explores every
+//! interleaving permitted by the C11 memory model. This workspace forbids
+//! `unsafe` and has no registry access, so we vendor the part of loom's value
+//! we actually need: *exhaustive schedule enumeration with enabledness
+//! pruning*. A protocol under test is expressed as a set of [`Actor`]s, each a
+//! deterministic sequence of atomic steps over shared state `S`. The
+//! [`explore`] driver enumerates every interleaving of those step sequences
+//! (every way to merge the per-actor programs), replaying the model from
+//! scratch along each schedule, exactly like loom's DFS-with-replay engine.
+//!
+//! Because steps mutate `S` under the checker's control, the model is
+//! sequentially consistent — which matches the system under test: the real
+//! propagation/snapshot protocol in `gt-core::concurrent` does every shared
+//! write under a `Mutex`, and `forbid(unsafe_code)` keeps weaker orderings
+//! out of reach. What the checker buys us is coverage of *logical* races:
+//! stale reads between lock regions, lost updates, non-monotone publication,
+//! deadlock.
+//!
+//! Invariant violations should be recorded *into* the shared state (e.g. a
+//! `violations: Vec<String>` field) rather than asserted with `panic!`, so a
+//! negative test (a deliberately buggy model) can assert that the checker
+//! *does* find the bug.
+//!
+//! ```
+//! use loom::model::{explore, Actor, ExploreLimits};
+//!
+//! struct Counter { value: u64 }
+//! struct Incr { steps_left: u32, staged: Option<u64> }
+//! impl Actor<Counter> for Incr {
+//!     fn finished(&self) -> bool { self.steps_left == 0 }
+//!     fn step(&mut self, s: &mut Counter) {
+//!         // Read-modify-write split across two steps: racy by design.
+//!         match self.staged.take() {
+//!             None => self.staged = Some(s.value),
+//!             Some(v) => s.value = v + 1,
+//!         }
+//!         self.steps_left -= 1;
+//!     }
+//! }
+//!
+//! let mut lost_update_seen = false;
+//! let report = explore(
+//!     || {
+//!         (Counter { value: 0 }, vec![
+//!             Box::new(Incr { steps_left: 2, staged: None }) as Box<dyn Actor<Counter>>,
+//!             Box::new(Incr { steps_left: 2, staged: None }),
+//!         ])
+//!     },
+//!     |s| {
+//!         if s.value != 2 { lost_update_seen = true; }
+//!     },
+//!     ExploreLimits::default(),
+//! );
+//! assert_eq!(report.schedules, 6); // C(4, 2) interleavings of 2+2 steps
+//! assert!(lost_update_seen); // the checker found the lost update
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+
+pub use model::{explore, Actor, ExploreLimits, Report};

@@ -1,0 +1,383 @@
+//! The exhaustive schedule explorer.
+//!
+//! A model is a closure producing fresh shared state `S` plus a vector of
+//! [`Actor`]s. The explorer enumerates every interleaving of the actors'
+//! step sequences via depth-first search with full replay: each schedule
+//! rebuilds the model from scratch and re-executes the recorded choice
+//! prefix, then extends it greedily until no actor can move. This is the
+//! same replay discipline real `loom` uses, which is why models must be
+//! deterministic — a step may depend only on actor-local and shared state,
+//! never on wall-clock time or ambient randomness.
+
+/// One thread of a concurrency model: a deterministic sequence of atomic
+/// steps over shared state `S`.
+pub trait Actor<S> {
+    /// Whether the actor's next step can run given the current shared state.
+    ///
+    /// Return `false` to model blocking (e.g. waiting on a mutex another
+    /// actor holds). The explorer never schedules a disabled actor, which
+    /// both prunes impossible interleavings and lets it detect deadlock:
+    /// a state where no unfinished actor is enabled.
+    fn enabled(&self, _shared: &S) -> bool {
+        true
+    }
+
+    /// Whether the actor has no steps left.
+    fn finished(&self) -> bool;
+
+    /// Execute the actor's next atomic step.
+    ///
+    /// Called only when `!finished()` and `enabled()` returned `true` for
+    /// the current state. Must be deterministic.
+    fn step(&mut self, shared: &mut S);
+}
+
+/// Caps on the exploration, so an over-wide model fails loudly instead of
+/// hanging the test suite.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Maximum number of complete schedules to execute before giving up
+    /// (reported via [`Report::truncated`]).
+    pub max_schedules: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        // Protocol models in this workspace are sized to ~10^4 schedules;
+        // an order of magnitude of headroom keeps runtimes in seconds while
+        // still catching accidental exponential blowups.
+        ExploreLimits {
+            max_schedules: 200_000,
+        }
+    }
+}
+
+/// What the exploration covered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Report {
+    /// Complete schedules executed (including those ending in deadlock).
+    pub schedules: usize,
+    /// Schedules that ended with unfinished-but-disabled actors.
+    pub deadlocks: usize,
+    /// Longest schedule, in steps.
+    pub max_depth: usize,
+    /// True if `max_schedules` was hit before the space was exhausted.
+    pub truncated: bool,
+}
+
+/// A decision point along the current schedule: which actors were runnable
+/// and which branch the DFS is currently taking.
+struct Frame {
+    choices: Vec<usize>,
+    pos: usize,
+}
+
+/// Runnable actor indices in the given state.
+fn runnable<S>(actors: &[Box<dyn Actor<S>>], shared: &S) -> Vec<usize> {
+    actors
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !a.finished() && a.enabled(shared))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Exhaustively explore every interleaving of the model produced by `mk`.
+///
+/// `mk` is invoked once per schedule and must return an identical fresh
+/// model each time. `on_complete` is invoked with the final shared state of
+/// every schedule in which all actors finished (deadlocked schedules are
+/// counted in the report instead). Violations found by `on_complete` — or
+/// recorded inside `S` by the actors themselves — should be accumulated by
+/// the caller and asserted once after `explore` returns.
+pub fn explore<S, F, C>(mut mk: F, mut on_complete: C, limits: ExploreLimits) -> Report
+where
+    F: FnMut() -> (S, Vec<Box<dyn Actor<S>>>),
+    C: FnMut(&S),
+{
+    let mut report = Report::default();
+    let mut stack: Vec<Frame> = Vec::new();
+
+    loop {
+        // Replay the committed prefix on a fresh model.
+        let (mut shared, mut actors) = mk();
+        for frame in &stack {
+            let actor = frame.choices[frame.pos];
+            debug_assert!(
+                !actors[actor].finished() && actors[actor].enabled(&shared),
+                "model is nondeterministic: replayed choice is not runnable"
+            );
+            actors[actor].step(&mut shared);
+        }
+
+        // Extend greedily, always taking the first runnable actor, recording
+        // each decision point so backtracking can take the siblings later.
+        loop {
+            let choices = runnable(&actors, &shared);
+            if choices.is_empty() {
+                report.schedules += 1;
+                report.max_depth = report.max_depth.max(stack.len());
+                if actors.iter().all(|a| a.finished()) {
+                    on_complete(&shared);
+                } else {
+                    report.deadlocks += 1;
+                }
+                break;
+            }
+            let actor = choices[0];
+            stack.push(Frame { choices, pos: 0 });
+            actors[actor].step(&mut shared);
+        }
+
+        if report.schedules >= limits.max_schedules {
+            report.truncated = true;
+            return report;
+        }
+
+        // Backtrack to the deepest decision point with an untried sibling.
+        loop {
+            match stack.last_mut() {
+                None => return report,
+                Some(top) => {
+                    top.pos += 1;
+                    if top.pos < top.choices.len() {
+                        break;
+                    }
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An actor that takes `n` steps, each bumping a per-actor counter in
+    /// the shared state.
+    struct Noop {
+        id: usize,
+        left: u32,
+    }
+    impl Actor<Vec<u32>> for Noop {
+        fn finished(&self) -> bool {
+            self.left == 0
+        }
+        fn step(&mut self, shared: &mut Vec<u32>) {
+            shared[self.id] += 1;
+            self.left -= 1;
+        }
+    }
+
+    type NoopModel = (Vec<u32>, Vec<Box<dyn Actor<Vec<u32>>>>);
+
+    fn noops(steps: &[u32]) -> NoopModel {
+        let actors = steps
+            .iter()
+            .enumerate()
+            .map(|(id, &left)| Box::new(Noop { id, left }) as Box<dyn Actor<Vec<u32>>>)
+            .collect();
+        (vec![0; steps.len()], actors)
+    }
+
+    #[test]
+    fn schedule_count_is_multinomial() {
+        // Interleavings of step sequences of lengths (2, 3): C(5,2) = 10.
+        let mut completions = 0usize;
+        let report = explore(
+            || noops(&[2, 3]),
+            |s| {
+                completions += 1;
+                assert_eq!(s, &vec![2, 3]);
+            },
+            ExploreLimits::default(),
+        );
+        assert_eq!(report.schedules, 10);
+        assert_eq!(completions, 10);
+        assert_eq!(report.deadlocks, 0);
+        assert_eq!(report.max_depth, 5);
+        assert!(!report.truncated);
+
+        // Three single-step actors: 3! = 6.
+        let report = explore(|| noops(&[1, 1, 1]), |_| {}, ExploreLimits::default());
+        assert_eq!(report.schedules, 6);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let report = explore(
+            || noops(&[2, 3]),
+            |_| {},
+            ExploreLimits { max_schedules: 4 },
+        );
+        assert!(report.truncated);
+        assert_eq!(report.schedules, 4);
+    }
+
+    /// A split read-modify-write: the classic lost-update race.
+    struct RacyIncr {
+        staged: Option<u64>,
+        left: u32,
+    }
+    #[derive(Default)]
+    struct Cell {
+        value: u64,
+    }
+    impl Actor<Cell> for RacyIncr {
+        fn finished(&self) -> bool {
+            self.left == 0
+        }
+        fn step(&mut self, shared: &mut Cell) {
+            match self.staged.take() {
+                None => self.staged = Some(shared.value),
+                Some(v) => shared.value = v + 1,
+            }
+            self.left -= 1;
+        }
+    }
+
+    #[test]
+    fn finds_lost_update() {
+        let mut outcomes = Vec::new();
+        explore(
+            || {
+                let actors: Vec<Box<dyn Actor<Cell>>> = vec![
+                    Box::new(RacyIncr {
+                        staged: None,
+                        left: 2,
+                    }),
+                    Box::new(RacyIncr {
+                        staged: None,
+                        left: 2,
+                    }),
+                ];
+                (Cell::default(), actors)
+            },
+            |s| outcomes.push(s.value),
+            ExploreLimits::default(),
+        );
+        // Both the correct outcome and the lost update must be witnessed.
+        assert!(outcomes.contains(&2));
+        assert!(outcomes.contains(&1));
+    }
+
+    /// Lock-protected increment: `enabled` models mutex blocking.
+    struct LockedIncr {
+        holding: bool,
+        left: u32,
+    }
+    #[derive(Default)]
+    struct Locked {
+        held_by: Option<usize>,
+        value: u64,
+    }
+    impl LockedIncr {
+        fn id(&self) -> usize {
+            self.left as usize % 2
+        }
+    }
+    impl Actor<Locked> for LockedIncr {
+        fn enabled(&self, shared: &Locked) -> bool {
+            self.holding || shared.held_by.is_none()
+        }
+        fn finished(&self) -> bool {
+            self.left == 0
+        }
+        fn step(&mut self, shared: &mut Locked) {
+            if !self.holding {
+                shared.held_by = Some(self.id());
+                self.holding = true;
+            } else {
+                shared.value += 1;
+                shared.held_by = None;
+                self.holding = false;
+            }
+            self.left -= 1;
+        }
+    }
+
+    #[test]
+    fn mutex_enabledness_prunes_and_never_loses_updates() {
+        let mut outcomes = Vec::new();
+        let report = explore(
+            || {
+                let actors: Vec<Box<dyn Actor<Locked>>> = vec![
+                    Box::new(LockedIncr {
+                        holding: false,
+                        left: 2,
+                    }),
+                    Box::new(LockedIncr {
+                        holding: false,
+                        left: 2,
+                    }),
+                ];
+                (Locked::default(), actors)
+            },
+            |s| outcomes.push(s.value),
+            ExploreLimits::default(),
+        );
+        // Acquire/release pairs cannot interleave, so only 2 schedules
+        // survive pruning (A's critical section first, or B's).
+        assert_eq!(report.schedules, 2);
+        assert_eq!(report.deadlocks, 0);
+        assert!(outcomes.iter().all(|&v| v == 2));
+    }
+
+    /// Two locks acquired in opposite orders: the textbook deadlock.
+    struct OrderedLocker {
+        first: usize,
+        second: usize,
+        acquired: usize,
+    }
+    #[derive(Default)]
+    struct TwoLocks {
+        held: [bool; 2],
+    }
+    impl Actor<TwoLocks> for OrderedLocker {
+        fn enabled(&self, shared: &TwoLocks) -> bool {
+            let want = if self.acquired == 0 {
+                self.first
+            } else {
+                self.second
+            };
+            !shared.held[want]
+        }
+        fn finished(&self) -> bool {
+            self.acquired == 2
+        }
+        fn step(&mut self, shared: &mut TwoLocks) {
+            let want = if self.acquired == 0 {
+                self.first
+            } else {
+                self.second
+            };
+            shared.held[want] = true;
+            self.acquired += 1;
+        }
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        let report = explore(
+            || {
+                let actors: Vec<Box<dyn Actor<TwoLocks>>> = vec![
+                    Box::new(OrderedLocker {
+                        first: 0,
+                        second: 1,
+                        acquired: 0,
+                    }),
+                    Box::new(OrderedLocker {
+                        first: 1,
+                        second: 0,
+                        acquired: 0,
+                    }),
+                ];
+                (TwoLocks::default(), actors)
+            },
+            |_| {},
+            ExploreLimits::default(),
+        );
+        assert!(report.deadlocks > 0);
+    }
+}

@@ -5,11 +5,14 @@
 //! the [`proptest!`] / [`prop_assert!`] / [`prop_assume!`] / [`prop_oneof!`]
 //! macros, integer-range / `any` / tuple / `Just` / `prop_map` /
 //! [`collection::vec`] strategies, and a [`test_runner::TestRunner`] that
-//! samples cases from a **deterministic** RNG (fixed seed, so failures
-//! reproduce run-to-run). Differences from upstream: no shrinking (the
-//! failing input is printed in full instead), and
-//! `tests/*.proptest-regressions` files are not replayed — regressions
-//! worth keeping are ported into ordinary `#[test]`s.
+//! samples cases from a **deterministic** RNG: every case has its own
+//! 64-bit seed, so failures reproduce run-to-run and are identified by a
+//! single `cc <seed>` token. `tests/*.proptest-regressions` files are
+//! honoured like upstream — stored seeds are replayed before fresh cases
+//! and a fresh failure appends its seed to the file (check it in). The
+//! one difference from upstream: no shrinking — the failing input is
+//! printed in full instead, and regressions worth a narrative are also
+//! ported into ordinary `#[test]`s.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -79,6 +82,12 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Wire regression persistence to this property's source file,
+            // like upstream's macro does.
+            let config = $crate::test_runner::ProptestConfig {
+                source_file: ::core::option::Option::Some(::core::file!()),
+                ..config
+            };
             let strategy = ($($strat,)+);
             let mut runner = $crate::test_runner::TestRunner::new(config);
             runner.run(&strategy, |($($pat,)+)| {

@@ -61,11 +61,14 @@ pub mod trial;
 pub mod window;
 
 pub use compact::harmonize;
-pub use concurrent::ShardedSketch;
+pub use concurrent::{ConcurrentSketch, ShardedSketch, SketchSnapshot, SketchWriter, WRITER_BUF};
 pub use error::{Result, SketchError};
 pub use estimate::{median_f64, quantile_f64, relative_error, Estimate};
 pub use merge::{merge_all, Mergeable};
-pub use metrics::{InsertTally, MetricsSnapshot, SketchMetrics};
+pub use metrics::{
+    ConcurrentMetrics, ConcurrentMetricsSnapshot, InsertTally, MetricsSnapshot, PropagationCause,
+    SketchMetrics,
+};
 pub use params::SketchConfig;
 pub use recency::{LatestTs, RecencySketch};
 pub use sample::DistinctSample;

@@ -15,8 +15,28 @@
 //! [`SketchMetrics::snapshot`], which returns a plain-old-data
 //! [`MetricsSnapshot`] that renders human-readable via `Display` and
 //! machine-readable via [`MetricsSnapshot::to_json`].
+//!
+//! # Aggregation ordering guarantee
+//!
+//! Counters are recorded with `Relaxed` atomics, so a *single* counter
+//! read is always torn-free but a *multi-sketch aggregate* (summing one
+//! snapshot per shard or per writer) is only meaningful if it corresponds
+//! to a consistent cut of the recording history. The rule every
+//! aggregator in this workspace follows: **hold every lock that guards a
+//! recording site before reading the first counter**. Batch ingest paths
+//! flush their thread-local [`InsertTally`] while still holding the
+//! sketch's lock, so an aggregate taken under all locks contains each
+//! flush either entirely or not at all, and contains every flush from
+//! operations that completed (released their lock) before the aggregate
+//! began — a prefix-closed view of each thread's history. Aggregates
+//! taken lock-by-lock (the historical `ShardedSketch::metrics_snapshot`
+//! bug) do not have this property: work recorded on a later-read shard
+//! can causally *follow* work missed on an earlier-read shard, producing
+//! totals that never existed at any instant.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use parking_lot::Mutex;
 
 use crate::trial::{TrialInsert, TrialMergeReport};
 
@@ -352,6 +372,186 @@ impl std::fmt::Display for MetricsSnapshot {
     }
 }
 
+/// Why a writer pushed its local buffer into the shared global sketch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PropagationCause {
+    /// The local buffer reached the writer's item threshold.
+    BufferFull,
+    /// The published global level ran ahead of the writer's local level,
+    /// so most of the writer's buffered labels were doomed to be
+    /// subsampled away — propagate early and adopt the higher level.
+    LevelLag,
+    /// An explicit [`crate::concurrent::SketchWriter::flush`] (including
+    /// the one on drop).
+    Flush,
+}
+
+/// Counters for the concurrent serving path
+/// ([`crate::concurrent::ConcurrentSketch`]): propagation cadence by
+/// cause, snapshot traffic, and the folded per-writer sketch counters.
+///
+/// Propagation counters are relaxed atomics (single-counter reads only);
+/// the folded writer-side [`MetricsSnapshot`] is guarded by a mutex and
+/// updated inside each propagation, so
+/// [`ConcurrentMetrics::snapshot`] reads it under that lock and the
+/// aggregation ordering guarantee above applies: the folded totals cover
+/// exactly the propagations that have completed.
+#[derive(Debug, Default)]
+pub struct ConcurrentMetrics {
+    propagations_buffer_full: AtomicU64,
+    propagations_level_lag: AtomicU64,
+    propagations_flush: AtomicU64,
+    items_propagated: AtomicU64,
+    levels_adopted: AtomicU64,
+    snapshots_published: AtomicU64,
+    snapshot_reads: AtomicU64,
+    /// Field-wise sum of every propagated writer-local sketch's counters.
+    writer: Mutex<MetricsSnapshot>,
+}
+
+impl ConcurrentMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ConcurrentMetrics::default()
+    }
+
+    /// Record one completed propagation: its cause, how many items the
+    /// local buffer carried, how many levels the writer adopted from the
+    /// global sketch afterwards, and the local sketch's own counters.
+    pub fn record_propagation(
+        &self,
+        cause: PropagationCause,
+        items: u64,
+        levels_adopted: u64,
+        local: &MetricsSnapshot,
+    ) {
+        let counter = match cause {
+            PropagationCause::BufferFull => &self.propagations_buffer_full,
+            PropagationCause::LevelLag => &self.propagations_level_lag,
+            PropagationCause::Flush => &self.propagations_flush,
+        };
+        counter.fetch_add(1, Relaxed);
+        self.items_propagated.fetch_add(items, Relaxed);
+        self.levels_adopted.fetch_add(levels_adopted, Relaxed);
+        self.writer.lock().absorb(local);
+    }
+
+    /// Record that a new snapshot was published.
+    #[inline]
+    pub fn record_publish(&self) {
+        self.snapshots_published.fetch_add(1, Relaxed);
+    }
+
+    /// Record one reader snapshot acquisition.
+    #[inline]
+    pub fn record_snapshot_read(&self) {
+        self.snapshot_reads.fetch_add(1, Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> ConcurrentMetricsSnapshot {
+        // Take the writer-fold lock first so the folded totals and the
+        // propagation counters describe the same set of completed
+        // propagations (each propagation bumps its atomic counter before
+        // folding, and folds before returning).
+        let writer = *self.writer.lock();
+        ConcurrentMetricsSnapshot {
+            propagations_buffer_full: self.propagations_buffer_full.load(Relaxed),
+            propagations_level_lag: self.propagations_level_lag.load(Relaxed),
+            propagations_flush: self.propagations_flush.load(Relaxed),
+            items_propagated: self.items_propagated.load(Relaxed),
+            levels_adopted: self.levels_adopted.load(Relaxed),
+            snapshots_published: self.snapshots_published.load(Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Relaxed),
+            writer,
+        }
+    }
+}
+
+/// Plain-old-data copy of [`ConcurrentMetrics`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConcurrentMetricsSnapshot {
+    /// Propagations triggered by a full local buffer.
+    pub propagations_buffer_full: u64,
+    /// Propagations triggered by published-level lag.
+    pub propagations_level_lag: u64,
+    /// Propagations triggered by an explicit or drop-time flush.
+    pub propagations_flush: u64,
+    /// Items (duplicates included) carried by all propagations.
+    pub items_propagated: u64,
+    /// Per-trial level steps writers adopted from the global sketch.
+    pub levels_adopted: u64,
+    /// Snapshots published (one per propagation that changed state).
+    pub snapshots_published: u64,
+    /// Reader snapshot acquisitions served.
+    pub snapshot_reads: u64,
+    /// Folded counters of every propagated writer-local sketch.
+    pub writer: MetricsSnapshot,
+}
+
+impl ConcurrentMetricsSnapshot {
+    /// Total propagations from any cause.
+    pub fn propagations(&self) -> u64 {
+        self.propagations_buffer_full + self.propagations_level_lag + self.propagations_flush
+    }
+
+    /// Render as a single JSON object (hand-rolled: the build environment
+    /// has no serde_json).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{",
+                "\"propagations_buffer_full\":{},",
+                "\"propagations_level_lag\":{},",
+                "\"propagations_flush\":{},",
+                "\"items_propagated\":{},",
+                "\"levels_adopted\":{},",
+                "\"snapshots_published\":{},",
+                "\"snapshot_reads\":{},",
+                "\"writer\":{}",
+                "}}"
+            ),
+            self.propagations_buffer_full,
+            self.propagations_level_lag,
+            self.propagations_flush,
+            self.items_propagated,
+            self.levels_adopted,
+            self.snapshots_published,
+            self.snapshot_reads,
+            self.writer.to_json(),
+        )
+    }
+}
+
+impl std::fmt::Display for ConcurrentMetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "concurrent sketch metrics:")?;
+        writeln!(
+            f,
+            "  propagations: {} ({} buffer-full, {} level-lag, {} flush)",
+            self.propagations(),
+            self.propagations_buffer_full,
+            self.propagations_level_lag,
+            self.propagations_flush,
+        )?;
+        writeln!(
+            f,
+            "  items propagated: {}, levels adopted: {}",
+            self.items_propagated, self.levels_adopted,
+        )?;
+        writeln!(
+            f,
+            "  snapshots: {} published, {} read",
+            self.snapshots_published, self.snapshot_reads,
+        )?;
+        write!(
+            f,
+            "  folded writer counters: {} trial inserts",
+            self.writer.trial_inserts()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,5 +653,49 @@ mod tests {
         assert_eq!(a.inserts_sampled, 11);
         assert_eq!(a.merge_calls, 2);
         assert_eq!(a.level_promotions, 4);
+    }
+
+    #[test]
+    fn concurrent_metrics_record_by_cause_and_fold_writers() {
+        let m = ConcurrentMetrics::new();
+        let local = MetricsSnapshot {
+            inserts_sampled: 7,
+            ..Default::default()
+        };
+        m.record_propagation(PropagationCause::BufferFull, 100, 0, &local);
+        m.record_propagation(PropagationCause::LevelLag, 3, 2, &local);
+        m.record_propagation(PropagationCause::Flush, 9, 0, &local);
+        m.record_publish();
+        m.record_snapshot_read();
+        m.record_snapshot_read();
+        let s = m.snapshot();
+        assert_eq!(s.propagations(), 3);
+        assert_eq!(s.propagations_buffer_full, 1);
+        assert_eq!(s.propagations_level_lag, 1);
+        assert_eq!(s.propagations_flush, 1);
+        assert_eq!(s.items_propagated, 112);
+        assert_eq!(s.levels_adopted, 2);
+        assert_eq!(s.snapshots_published, 1);
+        assert_eq!(s.snapshot_reads, 2);
+        assert_eq!(s.writer.inserts_sampled, 21);
+    }
+
+    #[test]
+    fn concurrent_snapshot_renders_json_and_text() {
+        let m = ConcurrentMetrics::new();
+        m.record_propagation(
+            PropagationCause::BufferFull,
+            5,
+            0,
+            &MetricsSnapshot::default(),
+        );
+        let s = m.snapshot();
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"propagations_buffer_full\":1"));
+        assert!(json.contains("\"writer\":{"));
+        let text = s.to_string();
+        assert!(text.contains("concurrent sketch metrics"));
+        assert!(text.contains("1 buffer-full"));
     }
 }

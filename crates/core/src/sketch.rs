@@ -270,6 +270,43 @@ impl<V: Payload> GtSketch<V> {
         Ok(out)
     }
 
+    /// Raise every trial's sampling level to at least `other`'s, returning
+    /// the number of per-trial level steps adopted.
+    ///
+    /// This is the level-adoption half of the concurrent writer protocol
+    /// (see [`crate::concurrent`]): after propagating into the shared
+    /// global sketch, a writer aligns its fresh local buffer to the
+    /// global's levels so labels the global would reject anyway are
+    /// filtered by the cheap below-level mask instead of occupying local
+    /// sample slots. Coordination makes this lossless for the eventual
+    /// union: a label discarded locally because `lvl(x) < adopted level`
+    /// would be discarded by [`GtSketch::merge_from`]'s level alignment
+    /// when the buffer reaches the global sketch, since global levels are
+    /// monotone and already ≥ the adopted level.
+    ///
+    /// # Errors
+    /// [`SketchError::SeedMismatch`] or [`SketchError::ConfigMismatch`] if
+    /// the sketches are not coordinated (same rules as merging).
+    pub fn align_levels_to(&mut self, other: &GtSketch<V>) -> Result<u64> {
+        if self.master_seed != other.master_seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        if self.config != other.config {
+            return Err(SketchError::ConfigMismatch {
+                detail: format!("{:?} vs {:?}", self.config, other.config),
+            });
+        }
+        let mut adopted = 0u64;
+        for (mine, theirs) in self.trials.iter_mut().zip(other.trials.iter()) {
+            if theirs.level() > mine.level() {
+                adopted += u64::from(theirs.level() - mine.level());
+                mine.subsample_to_level(theirs.level());
+            }
+        }
+        self.metrics.record_promotions(adopted);
+        Ok(adopted)
+    }
+
     /// Live observability counters for this sketch (see
     /// [`crate::metrics`]).
     pub fn metrics(&self) -> &SketchMetrics {
@@ -512,6 +549,53 @@ mod tests {
             a.merged(&c).unwrap_err(),
             SketchError::ConfigMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn align_levels_then_merge_matches_single_observer() {
+        // A writer that adopts the global's levels before buffering more
+        // labels must still produce the exact single-observer union: the
+        // labels its aligned buffer rejects as below-level are precisely
+        // the ones merge-time level alignment would have discarded.
+        let config = cfg(0.1, 0.1);
+        let va: Vec<u64> = labels(120_000, 50).collect();
+        let vb: Vec<u64> = labels(40_000, 51).collect();
+
+        let mut global = DistinctSketch::new(&config, 52);
+        global.extend_labels(va.iter().copied());
+        assert!(global.max_level() > 0, "need promotions for this test");
+
+        let mut aligned = DistinctSketch::new(&config, 52);
+        let adopted = aligned.align_levels_to(&global).unwrap();
+        assert!(adopted > 0);
+        assert_eq!(aligned.max_level(), global.max_level());
+        aligned.extend_labels(vb.iter().copied());
+        global.merge_from(&aligned).unwrap();
+
+        let mut whole = DistinctSketch::new(&config, 52);
+        whole.extend_labels(va.iter().copied());
+        whole.extend_labels(vb.iter().copied());
+
+        let state = |s: &DistinctSketch| -> Vec<(u8, u64, std::collections::BTreeSet<u64>)> {
+            s.trials()
+                .iter()
+                .map(|t| {
+                    (
+                        t.level(),
+                        t.items_observed(),
+                        t.sample_iter().map(|(k, _)| k).collect(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(state(&global), state(&whole));
+
+        // Alignment is coordination-checked like merging.
+        let mut stranger = DistinctSketch::new(&config, 99);
+        assert_eq!(
+            stranger.align_levels_to(&global).unwrap_err(),
+            SketchError::SeedMismatch
+        );
     }
 
     #[test]

@@ -550,6 +550,111 @@ mod tests {
         }
     }
 
+    /// SplitMix64 — deterministic fuzz schedule, reproducible run-to-run.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Structured mutations over valid messages: rather than pure random
+    /// bytes (which die at the magic check), each round takes a real
+    /// encoding and perturbs it the way real corruption or a hostile
+    /// sender would — truncation, bit flips, varint splices (injected
+    /// continuation bits / over-long encodings), section duplication,
+    /// deletion, and region swaps. The decoder contract under attack:
+    /// **never panic**, and every accepted message must re-encode to a
+    /// canonical fixpoint (decode → encode → decode gives identical
+    /// bytes), otherwise the referee's byte-level dedup fingerprint is
+    /// ill-defined.
+    #[test]
+    fn structured_mutation_fuzz_never_panics_and_reencodes_canonically() {
+        let mut bases: Vec<Vec<u8>> = Vec::new();
+        for (seed, n) in [(1u64, 0u64), (2, 100), (3, 20_000)] {
+            let mut s = DistinctSketch::new(&cfg(), seed);
+            s.extend_labels((0..n).map(gt_hash::fold61));
+            bases.push(encode_sketch(&s).to_vec());
+        }
+        let mut sum = SumDistinctSketch::new(&cfg(), 4);
+        for i in 0..2_000u64 {
+            sum.insert(gt_hash::fold61(i), i % 7 + 1);
+        }
+        let sum_base = encode_sketch(sum.inner()).to_vec();
+
+        let mut rng = 0x5EED_F0CC_u64;
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for round in 0..1_200u64 {
+            let base = &bases[(round % bases.len() as u64) as usize];
+            let mut raw = base.clone();
+            // 1-3 stacked mutations per round.
+            for _ in 0..(splitmix(&mut rng) % 3 + 1) {
+                if raw.is_empty() {
+                    break;
+                }
+                let at = (splitmix(&mut rng) as usize) % raw.len();
+                match splitmix(&mut rng) % 6 {
+                    0 => raw.truncate(at),
+                    1 => raw[at] ^= (splitmix(&mut rng) % 255 + 1) as u8,
+                    // Varint splice: set a continuation bit and append a
+                    // spare byte, manufacturing over-long/shifted varints.
+                    2 => {
+                        raw[at] |= 0x80;
+                        raw.insert(at + 1, (splitmix(&mut rng) & 0x7F) as u8);
+                    }
+                    // Duplicate a section in place.
+                    3 => {
+                        let len = ((splitmix(&mut rng) as usize) % 16 + 1).min(raw.len() - at);
+                        let section = raw[at..at + len].to_vec();
+                        raw.splice(at..at, section);
+                    }
+                    // Delete a section.
+                    4 => {
+                        let len = ((splitmix(&mut rng) as usize) % 8 + 1).min(raw.len() - at);
+                        raw.drain(at..at + len);
+                    }
+                    // Swap two adjacent regions.
+                    _ => {
+                        let len = ((splitmix(&mut rng) as usize) % 8 + 1).min(raw.len() - at) / 2;
+                        for k in 0..len {
+                            raw.swap(at + k, at + 2 * len - 1 - k);
+                        }
+                    }
+                }
+            }
+            // The contract: decode must return, not panic…
+            match decode_sketch::<()>(Bytes::from(raw.clone())) {
+                Err(_) => rejected += 1,
+                Ok(decoded) => {
+                    accepted += 1;
+                    // …and anything accepted re-encodes to a fixpoint.
+                    let reenc = encode_sketch(&decoded);
+                    let again: DistinctSketch = decode_sketch(reenc.clone())
+                        .expect("re-encoding of an accepted sketch must decode");
+                    assert_eq!(
+                        reenc,
+                        encode_sketch(&again),
+                        "round {round}: accepted message is not canonical"
+                    );
+                }
+            }
+            // Same schedule against the payload-carrying decoder.
+            let mut raw = sum_base.clone();
+            let at = (splitmix(&mut rng) as usize) % raw.len();
+            raw[at] ^= (splitmix(&mut rng) % 255 + 1) as u8;
+            let _ = decode_sketch::<u64>(Bytes::from(raw)); // must not panic
+        }
+        // The fuzz must exercise both outcomes to mean anything.
+        assert!(rejected > 0, "no mutation was ever rejected");
+        assert!(
+            accepted > 0,
+            "every mutation was rejected — mutations too destructive to \
+             test the accept path ({rejected} rejected)"
+        );
+    }
+
     #[test]
     fn fingerprint_separates_payloads_and_is_stable() {
         let mut a = DistinctSketch::new(&cfg(), 3);

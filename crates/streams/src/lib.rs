@@ -54,7 +54,8 @@ pub use oracle::StreamOracle;
 pub use party::{Party, PartyMessage};
 pub use referee::{PartialEstimate, Receipt, Referee, RefereeOf, RefereeTelemetry};
 pub use runner::{
-    run_resilient_scenario, run_scenario, PartyPhases, ResilientReport, ScenarioReport,
+    run_live_query_scenario, run_resilient_scenario, run_scenario, LiveQueryReport,
+    LiveQuerySample, PartyPhases, ResilientReport, ScenarioReport,
 };
 pub use topology::{aggregate_tree, HierarchicalReport};
 pub use transport::{Delivery, SendFate, Tick, Transport, TransportSpec, TransportTelemetry};

@@ -280,6 +280,168 @@ pub fn run_resilient_scenario(
     }
 }
 
+/// One mid-stream query answered while writers were still ingesting.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveQuerySample {
+    /// Propagation epoch of the snapshot that served the query.
+    pub epoch: u64,
+    /// Items (duplicates included) covered by the snapshot's
+    /// prefix-union.
+    pub items_covered: u64,
+    /// The snapshot's `(ε, δ)` distinct estimate — the contract covers
+    /// the prefix-union's cardinality, not the final answer.
+    pub estimate: f64,
+    /// `items_covered` as a fraction of the full workload's items: the
+    /// live-serving analogue of [`PartialEstimate`]'s coverage.
+    pub coverage: f64,
+}
+
+/// Everything measured in one **live-query** scenario run: writers ingest
+/// concurrently through a [`gt_core::ConcurrentSketch`] while the
+/// caller's thread answers distinct-count queries from snapshots.
+#[derive(Clone, Debug)]
+pub struct LiveQueryReport {
+    /// Queries answered from a fresh epoch, in observation order (always
+    /// ends with the final, complete epoch).
+    pub samples: Vec<LiveQuerySample>,
+    /// Total snapshot polls taken, including ones that saw no new epoch.
+    pub snapshots_taken: u64,
+    /// True iff every consecutive snapshot pair was monotone in epoch
+    /// and covered items (the protocol guarantees this; experiments gate
+    /// on it).
+    pub monotone: bool,
+    /// Estimate from the final snapshot, after every writer flushed.
+    pub final_estimate: f64,
+    /// Exact distinct count of the union of all streams.
+    pub truth: u64,
+    /// `|final_estimate − truth| / truth` (0 when both are 0).
+    pub relative_error: f64,
+    /// Epoch of the final snapshot.
+    pub final_epoch: u64,
+    /// Number of writer threads (one per stream).
+    pub parties: usize,
+    /// Total items across streams.
+    pub total_items: u64,
+    /// Wall time of the whole ingest-and-serve phase.
+    pub observe_wall: Duration,
+    /// Concurrent-path counters: propagation cadence by cause, snapshot
+    /// traffic, folded writer-side sketch counters.
+    pub concurrent_metrics: gt_core::ConcurrentMetricsSnapshot,
+}
+
+impl LiveQueryReport {
+    /// Items per second across all writers during the ingest phase.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.observe_wall.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_items as f64 / secs
+        }
+    }
+}
+
+/// Run a live-query scenario: one writer thread per stream ingests into a
+/// shared [`gt_core::ConcurrentSketch`] (each writer propagating its
+/// thread-local buffer every `writer_threshold` items or on level lag),
+/// while this thread serves `estimate_distinct` queries from published
+/// snapshots the whole time — the ROADMAP's "answer union-F₀ queries
+/// while inserts are in flight" serving path.
+///
+/// Unlike [`run_scenario`] there is no end-of-stream message: queries
+/// never block writers, every answered query is an `(ε, δ)` estimate of
+/// the prefix-union its epoch covers, and once all writers finish the
+/// final snapshot is bitwise-identical (canonical encoding) to a
+/// sequential sketch of the full multiset.
+///
+/// # Panics
+/// Panics if a writer thread panics.
+pub fn run_live_query_scenario(
+    config: &SketchConfig,
+    master_seed: u64,
+    streams: &StreamSet,
+    writer_threshold: u64,
+) -> LiveQueryReport {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let t = streams.streams.len();
+    assert!(t > 0, "need at least one writer");
+    let total_items = streams.total_items();
+
+    let shared = gt_core::ConcurrentSketch::new(config, master_seed);
+    let writers_done = AtomicUsize::new(0);
+    let mut samples: Vec<LiveQuerySample> = Vec::new();
+    let mut snapshots_taken = 0u64;
+    let mut monotone = true;
+
+    let observe_start = Instant::now();
+    crossbeam::scope(|scope| {
+        for stream in &streams.streams {
+            let shared = &shared;
+            let writers_done = &writers_done;
+            scope.spawn(move |_| {
+                let mut writer = shared.writer_with_threshold(writer_threshold);
+                writer.extend_slice(stream);
+                drop(writer); // flush the tail before reporting done
+                writers_done.fetch_add(1, Ordering::Release);
+            });
+        }
+        // Query loop on this thread: serve estimates from snapshots while
+        // writers run. Samples are recorded per *new epoch*; monotonicity
+        // is tracked across every poll (count/ordering property, no
+        // timing assumptions).
+        let mut last_epoch = 0u64;
+        let mut last_items = 0u64;
+        loop {
+            let done = writers_done.load(Ordering::Acquire) >= t;
+            let snap = shared.snapshot();
+            snapshots_taken += 1;
+            if snap.epoch() < last_epoch || snap.items_observed() < last_items {
+                monotone = false;
+            }
+            if snap.epoch() != last_epoch || (done && samples.is_empty()) {
+                samples.push(LiveQuerySample {
+                    epoch: snap.epoch(),
+                    items_covered: snap.items_observed(),
+                    estimate: snap.estimate_distinct().value,
+                    coverage: if total_items == 0 {
+                        1.0
+                    } else {
+                        snap.items_observed() as f64 / total_items as f64
+                    },
+                });
+            }
+            last_epoch = snap.epoch();
+            last_items = snap.items_observed();
+            if done {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    })
+    .expect("writer thread panicked");
+    let observe_wall = observe_start.elapsed();
+
+    let final_snap = shared.snapshot();
+    let final_estimate = final_snap.estimate_distinct().value;
+    let oracle = StreamOracle::of_streams(streams.streams.iter().map(|s| s.as_slice()));
+    let truth = oracle.distinct();
+
+    LiveQueryReport {
+        samples,
+        snapshots_taken,
+        monotone,
+        final_estimate,
+        truth,
+        relative_error: gt_core::relative_error(final_estimate, truth as f64),
+        final_epoch: final_snap.epoch(),
+        parties: t,
+        total_items,
+        observe_wall,
+        concurrent_metrics: shared.metrics_snapshot(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +578,107 @@ mod tests {
             degraded.partial.parties_heard
         );
         assert!(retried.collection.retransmits > 0);
+    }
+
+    #[test]
+    fn live_query_scenario_serves_monotone_valid_estimates() {
+        let spec = WorkloadSpec {
+            parties: 4,
+            distinct_per_party: 4_000,
+            overlap: 0.5,
+            items_per_party: 12_000,
+            distribution: Distribution::Uniform,
+            seed: 23,
+        };
+        let streams = spec.generate();
+        let config = SketchConfig::new(0.1, 0.05).unwrap();
+        let report = run_live_query_scenario(&config, 55, &streams, 1_000);
+
+        assert_eq!(report.parties, 4);
+        assert_eq!(report.total_items, 4 * 12_000);
+        assert!(report.monotone, "snapshots regressed");
+        assert!(report.relative_error < 0.1, "err {}", report.relative_error);
+        // The query loop polls at least once and always records the final
+        // complete epoch as its last sample.
+        assert!(report.snapshots_taken >= 1);
+        let last = report.samples.last().expect("final epoch always sampled");
+        assert_eq!(last.epoch, report.final_epoch);
+        assert_eq!(last.items_covered, report.total_items);
+        assert_eq!(last.coverage, 1.0);
+        assert_eq!(last.estimate, report.final_estimate);
+        // Coverage and epochs are nondecreasing across samples.
+        for pair in report.samples.windows(2) {
+            assert!(pair[1].epoch > pair[0].epoch);
+            assert!(pair[1].items_covered >= pair[0].items_covered);
+        }
+        // 48k items at threshold 1k must propagate many times, and every
+        // propagated item is accounted for.
+        let m = report.concurrent_metrics;
+        assert!(m.propagations() >= 48, "{m:?}");
+        assert_eq!(m.items_propagated, report.total_items);
+        assert!(m.snapshot_reads >= report.snapshots_taken);
+        assert_eq!(
+            m.writer.trial_inserts(),
+            report.total_items * config.trials() as u64
+        );
+    }
+
+    #[test]
+    fn live_query_final_state_is_bitwise_sequential() {
+        // The concurrent serving path must converge to the exact sketch a
+        // sequential observer of the concatenated streams would hold —
+        // asserted on canonical encoded bytes via a second run that
+        // reaches into the shared sketch.
+        let spec = WorkloadSpec {
+            parties: 3,
+            distinct_per_party: 5_000,
+            overlap: 0.3,
+            items_per_party: 9_000,
+            distribution: Distribution::Zipf(1.1),
+            seed: 29,
+        };
+        let streams = spec.generate();
+        let config = SketchConfig::new(0.1, 0.1).unwrap();
+
+        let shared = gt_core::ConcurrentSketch::new(&config, 77);
+        crossbeam::scope(|scope| {
+            for stream in &streams.streams {
+                let shared = &shared;
+                scope.spawn(move |_| {
+                    let mut w = shared.writer_with_threshold(777);
+                    w.extend_slice(stream);
+                });
+            }
+        })
+        .unwrap();
+
+        let mut sequential = gt_core::DistinctSketch::new(&config, 77);
+        for stream in &streams.streams {
+            sequential.extend_slice(stream);
+        }
+        assert_eq!(
+            crate::codec::encode_sketch(shared.snapshot().sketch()),
+            crate::codec::encode_sketch(&sequential),
+            "concurrent final state must be canonical-bytes-identical"
+        );
+    }
+
+    #[test]
+    fn live_query_single_writer_is_exact_under_capacity() {
+        let spec = WorkloadSpec {
+            parties: 1,
+            distinct_per_party: 900,
+            overlap: 0.0,
+            items_per_party: 1_800,
+            distribution: Distribution::Uniform,
+            seed: 31,
+        };
+        let streams = spec.generate();
+        let config = SketchConfig::new(0.1, 0.1).unwrap();
+        let report = run_live_query_scenario(&config, 5, &streams, 250);
+        assert_eq!(report.relative_error, 0.0); // under capacity → exact
+        assert_eq!(report.final_estimate, report.truth as f64);
+        assert!(report.monotone);
     }
 
     #[test]
