@@ -1,0 +1,293 @@
+//! E19 — referee union pipeline: sequential fold vs kernel fold vs
+//! parallel tree reduction over `t` party messages.
+//!
+//! Claim: the referee's cost of answering a union query is linear in the
+//! number of parties and independent of stream length, and the batched
+//! pipeline (zero-copy decode into a reusable arena + tree-reduction
+//! merge) beats the per-entry sequential reference fold at realistic
+//! fleet sizes. Every variant must produce a union that is
+//! canonical-wire-bytes **identical** to the sequential left fold — the
+//! experiment asserts this per rep and panics on divergence, so the
+//! speedup is free of accuracy (or even representation) cost.
+//!
+//! Variants:
+//! * `sequential_reference` — decode each message, merge per entry via
+//!   [`gt_core::GtSketch::merge_from_reference`] (the pre-kernel oracle).
+//! * `kernel_fold` — decode each message, merge via the batch-monomorphic
+//!   kernel ([`gt_core::GtSketch::merge_from`]); same left fold, faster
+//!   inner loop.
+//! * `tree` — decode into a reusable arena with
+//!   [`gt_streams::decode_sketch_into`] (no per-message sketch
+//!   allocation), then union via [`gt_core::merge_tree`] on worker
+//!   threads.
+//!
+//! Writes the machine-readable summary CI gates on to
+//! `results/BENCH_union.json`.
+
+use std::time::{Duration, Instant};
+
+use crate::table::Table;
+use gt_core::{merge_tree, DistinctSketch, SketchConfig};
+use gt_streams::{decode_sketch, decode_sketch_into, encode_sketch, DecodeScratch};
+use gt_streams::{Party, PartyMessage};
+
+/// Where the machine-readable summary lands.
+pub const BENCH_JSON: &str = "results/BENCH_union.json";
+
+/// One measured (t, overlap, variant) cell.
+struct Row {
+    t: usize,
+    overlap: f64,
+    variant: &'static str,
+    decode: Duration,
+    merge: Duration,
+    bytes: usize,
+}
+
+impl Row {
+    fn wall(&self) -> Duration {
+        self.decode + self.merge
+    }
+
+    fn merges_per_sec(&self) -> f64 {
+        self.t as f64 / self.merge.as_secs_f64().max(1e-12)
+    }
+
+    fn decode_bytes_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.decode.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Build `t` finished party messages over streams with a shared-label
+/// fraction of `overlap` (the rest unique per party).
+fn party_messages(
+    config: &SketchConfig,
+    seed: u64,
+    t: usize,
+    per_party: u64,
+    overlap: f64,
+) -> Vec<PartyMessage> {
+    let shared_n = (per_party as f64 * overlap) as u64;
+    let shared: Vec<u64> = (0..shared_n).map(gt_hash::fold61).collect();
+    (0..t)
+        .map(|id| {
+            let mut party = Party::new(id, config, seed);
+            let mut labels = shared.clone();
+            let base = (1 << 32) + (id as u64) * (per_party - shared_n);
+            labels.extend((0..per_party - shared_n).map(|i| gt_hash::fold61(base + i)));
+            party.observe_stream(&labels);
+            party.finish()
+        })
+        .collect()
+}
+
+/// Sequential left fold into a fresh union: decode all `t` messages with
+/// the allocating decoder, then fold. The phases are kept separate (as in
+/// the tree variant) so decode and merge are each compared like for like.
+/// `reference` selects the per-entry oracle merge instead of the batch
+/// kernel.
+fn union_fold(
+    config: &SketchConfig,
+    seed: u64,
+    msgs: &[PartyMessage],
+    reference: bool,
+) -> (DistinctSketch, Duration, Duration) {
+    let start = Instant::now();
+    let decoded: Vec<DistinctSketch> = msgs
+        .iter()
+        .map(|msg| decode_sketch(msg.payload.clone()).expect("coordinated"))
+        .collect();
+    let decode = start.elapsed();
+    let start = Instant::now();
+    let mut union = DistinctSketch::new(config, seed);
+    for sketch in &decoded {
+        if reference {
+            union.merge_from_reference(sketch).expect("coordinated");
+        } else {
+            union.merge_from(sketch).expect("coordinated");
+        }
+    }
+    (union, decode, start.elapsed())
+}
+
+/// The batched pipeline: zero-copy decode into a reusable arena, then a
+/// parallel tree reduction. The arena and scratch are passed in so reps
+/// measure steady-state (allocation-free) decoding, as the referee sees.
+fn union_tree(
+    msgs: &[PartyMessage],
+    arena: &mut [DistinctSketch],
+    scratch: &mut DecodeScratch<()>,
+) -> (DistinctSketch, Duration, Duration) {
+    let start = Instant::now();
+    for (slot, msg) in arena.iter_mut().zip(msgs) {
+        decode_sketch_into(slot, msg.payload.clone(), scratch).expect("coordinated");
+    }
+    let decode = start.elapsed();
+    let start = Instant::now();
+    let union = merge_tree(&arena[..msgs.len()]).expect("non-empty");
+    (union, decode, start.elapsed())
+}
+
+/// Run E19.
+pub fn run(quick: bool) -> Vec<Table> {
+    let ts: &[usize] = if quick {
+        &[4, 16, 64]
+    } else {
+        &[4, 16, 64, 256, 1024]
+    };
+    let overlaps: &[f64] = if quick { &[0.0, 0.5] } else { &[0.0, 0.5, 0.9] };
+    let per_party: u64 = if quick { 2_000 } else { 4_000 };
+    let reps = 3;
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let seed = 0xE19;
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Table::new(
+        "E19",
+        "referee union pipeline: sequential vs kernel vs tree (bitwise-identical)",
+        &[
+            "t",
+            "overlap",
+            "variant",
+            "wall_ms",
+            "merges_per_sec",
+            "decode_MB_per_sec",
+            "speedup_vs_seq",
+            "identical",
+        ],
+    );
+
+    let max_t = *ts.last().unwrap();
+    let mut arena: Vec<DistinctSketch> = (0..max_t)
+        .map(|_| DistinctSketch::new(&config, seed))
+        .collect();
+    let mut scratch = DecodeScratch::new();
+
+    for &t in ts {
+        for &overlap in overlaps {
+            let msgs = party_messages(&config, seed, t, per_party, overlap);
+            let bytes: usize = msgs.iter().map(PartyMessage::bytes).sum();
+
+            // Untimed warmup: touch every page and warm the allocator so
+            // the first timed variant doesn't pay first-touch costs the
+            // later ones skip.
+            union_fold(&config, seed, &msgs, true);
+            union_tree(&msgs, &mut arena, &mut scratch);
+
+            let mut best: [Option<Row>; 3] = [None, None, None];
+            for _ in 0..reps {
+                let (seq, seq_dec, seq_mrg) = union_fold(&config, seed, &msgs, true);
+                let (ker, ker_dec, ker_mrg) = union_fold(&config, seed, &msgs, false);
+                let (tree, tree_dec, tree_mrg) = union_tree(&msgs, &mut arena, &mut scratch);
+                // The whole point: every variant is the same union, down
+                // to the canonical wire bytes.
+                let canon = encode_sketch(&seq);
+                assert_eq!(canon, encode_sketch(&ker), "kernel fold diverged at t={t}");
+                assert_eq!(canon, encode_sketch(&tree), "tree merge diverged at t={t}");
+                let candidates = [
+                    ("sequential_reference", seq_dec, seq_mrg),
+                    ("kernel_fold", ker_dec, ker_mrg),
+                    ("tree", tree_dec, tree_mrg),
+                ];
+                for (slot, (variant, decode, merge)) in best.iter_mut().zip(candidates) {
+                    let row = Row {
+                        t,
+                        overlap,
+                        variant,
+                        decode,
+                        merge,
+                        bytes,
+                    };
+                    if slot.as_ref().is_none_or(|b| row.wall() < b.wall()) {
+                        *slot = Some(row);
+                    }
+                }
+            }
+            let seq_wall = best[0].as_ref().unwrap().wall();
+            for row in best.into_iter().flatten() {
+                table.row(vec![
+                    row.t.to_string(),
+                    format!("{:.1}", row.overlap),
+                    row.variant.to_string(),
+                    format!("{:.2}", row.wall().as_secs_f64() * 1e3),
+                    format!("{:.3e}", row.merges_per_sec()),
+                    format!("{:.1}", row.decode_bytes_per_sec() / 1e6),
+                    format!("{:.2}x", seq_wall.as_secs_f64() / row.wall().as_secs_f64()),
+                    "yes".to_string(),
+                ]);
+                rows.push(row);
+            }
+        }
+    }
+
+    // CI gate input: at the largest t, the tree reduction must not lose
+    // to the per-entry sequential reference fold on the fold itself (the
+    // merge phase — decode is common work, reported separately as
+    // bytes/sec per the metric split above). Aggregated across overlaps
+    // to damp scheduler noise; on a single-core host the tree degrades
+    // gracefully to the kernel fold, which still beats the reference.
+    let merge_at_max = |variant: &str| -> f64 {
+        rows.iter()
+            .filter(|r| r.t == max_t && r.variant == variant)
+            .map(|r| r.merge.as_secs_f64())
+            .sum()
+    };
+    let tree_speedup_at_max_t = merge_at_max("sequential_reference") / merge_at_max("tree");
+
+    table.note(format!(
+        "{per_party} distinct labels per party, best of {reps} reps; canonical-bytes \
+         identity asserted per rep (panics on divergence)"
+    ));
+    table.note(format!(
+        "PASS condition: identical = yes everywhere; tree merge beats the \
+         sequential_reference merge at t = {max_t} \
+         (measured merge speedup {tree_speedup_at_max_t:.2}x)"
+    ));
+    table.note(format!("machine-readable summary: {BENCH_JSON}"));
+
+    write_json(quick, per_party, max_t, tree_speedup_at_max_t, &rows);
+    vec![table]
+}
+
+/// Hand-rolled JSON mirror of the table. `bitwise_identical` is only ever
+/// written as `true`: divergence panics the run instead. `workers` lets
+/// the CI gate distinguish a real tree win from the single-core
+/// degenerate case where `merge_tree` lawfully falls back to the
+/// sequential kernel fold.
+fn write_json(quick: bool, per_party: u64, max_t: usize, tree_speedup_at_max_t: f64, rows: &[Row]) {
+    let rows_json = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"t\":{},\"overlap\":{},\"variant\":\"{}\",\"wall_ms\":{:.3},\
+                 \"decode_ms\":{:.3},\"merge_ms\":{:.3},\"merges_per_sec\":{:.1},\
+                 \"decode_bytes_per_sec\":{:.1}}}",
+                r.t,
+                r.overlap,
+                r.variant,
+                r.wall().as_secs_f64() * 1e3,
+                r.decode.as_secs_f64() * 1e3,
+                r.merge.as_secs_f64() * 1e3,
+                r.merges_per_sec(),
+                r.decode_bytes_per_sec(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let json = format!(
+        "{{\"experiment\":\"e19\",\"quick\":{quick},\"per_party\":{per_party},\
+         \"max_t\":{max_t},\"workers\":{workers},\
+         \"tree_speedup_at_max_t\":{tree_speedup_at_max_t:.3},\
+         \"tree_beats_sequential_at_max_t\":{},\
+         \"rows\":[{rows_json}],\"bitwise_identical\":true}}\n",
+        tree_speedup_at_max_t >= 1.0,
+    );
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write(BENCH_JSON, json))
+    {
+        eprintln!("  {BENCH_JSON} write failed: {e}");
+    }
+}

@@ -19,6 +19,7 @@ pub mod e15_heterogeneous;
 pub mod e16_window;
 pub mod e17_transport;
 pub mod e18_concurrent;
+pub mod e19_union;
 
 use crate::table::Table;
 
@@ -128,6 +129,12 @@ pub const REGISTRY: &[Experiment] = &[
         description:
             "concurrent serving: multi-writer scaling + live snapshot validity (BENCH_concurrent.json)",
         run: e18_concurrent::run,
+    },
+    Experiment {
+        id: "e19",
+        description:
+            "referee union pipeline: sequential vs kernel vs tree-reduction merge (BENCH_union.json)",
+        run: e19_union::run,
     },
 ];
 

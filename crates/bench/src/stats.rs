@@ -53,6 +53,16 @@ pub fn render_stats(report: &ScenarioReport) -> String {
         t.rejected_malformed,
         t.rejected_sketch,
     ));
+    let histogram: String = gt_streams::BATCH_BUCKET_LABELS
+        .iter()
+        .zip(t.summaries_per_batch.iter())
+        .map(|(label, count)| format!("{label}:{count}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    out.push_str(&format!(
+        "  referee batches: {} (summaries per batch: {})\n",
+        t.batches, histogram,
+    ));
     out.push_str(&format!(
         "  union inserts: {} trial decisions ({} sampled, {} duplicate, {} below-level)\n",
         m.trial_inserts(),
@@ -98,6 +108,8 @@ pub fn render_stats_json(report: &ScenarioReport) -> String {
             "\"merge_s\":{},",
             "\"accepted\":{},",
             "\"rejected\":{},",
+            "\"batches\":{},",
+            "\"summaries_per_batch\":[{}],",
             "\"union_metrics\":{}",
             "}}"
         ),
@@ -114,6 +126,12 @@ pub fn render_stats_json(report: &ScenarioReport) -> String {
         secs(t.merge_time),
         t.accepted,
         t.rejected(),
+        t.batches,
+        t.summaries_per_batch
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
         report.union_metrics.to_json(),
     )
 }
@@ -145,13 +163,20 @@ mod tests {
         assert!(human.contains("4 parties"));
         assert!(human.contains("items/s"));
         assert!(human.contains("accepted"));
+        assert!(human.contains("referee batches:"));
+        assert!(human.contains("summaries per batch:"));
         let json = render_stats_json(&report);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"parties\":4"));
         assert!(json.contains("\"items_per_sec\":"));
         assert!(json.contains("\"accepted\":4"));
         assert!(json.contains("\"union_metrics\":{"));
-        // The embedded union metrics saw the four merges.
-        assert!(json.contains("\"merge_calls\":4"));
+        assert!(json.contains("\"batches\":"));
+        assert!(json.contains("\"summaries_per_batch\":["));
+        // The batched referee folds 4 messages in 1..=4 union merges.
+        let t = report.referee_telemetry;
+        assert!(t.batches >= 1 && t.batches <= 4);
+        assert_eq!(t.summaries_per_batch.iter().sum::<usize>(), t.batches);
+        assert!((1..=4).contains(&report.union_metrics.merge_calls));
     }
 }

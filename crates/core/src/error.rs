@@ -26,6 +26,10 @@ pub enum SketchError {
         /// The offending label.
         label: u64,
     },
+    /// A union was requested over zero summaries. There is no neutral
+    /// element to return: a sketch needs a config and seed, and an empty
+    /// slice carries neither.
+    EmptyUnion,
 }
 
 impl std::fmt::Display for SketchError {
@@ -47,6 +51,12 @@ impl std::fmt::Display for SketchError {
                 write!(
                     f,
                     "label {label} outside the [0, 2^61-1) universe; fold it with gt_hash::fold61"
+                )
+            }
+            SketchError::EmptyUnion => {
+                write!(
+                    f,
+                    "cannot union zero summaries: no config/seed to build a result from"
                 )
             }
         }
@@ -79,6 +89,7 @@ mod tests {
         assert!(SketchError::LabelOutOfRange { label: u64::MAX }
             .to_string()
             .contains("fold"));
+        assert!(SketchError::EmptyUnion.to_string().contains("zero"));
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use compact::harmonize;
 pub use concurrent::{ConcurrentSketch, ShardedSketch, SketchSnapshot, SketchWriter, WRITER_BUF};
 pub use error::{Result, SketchError};
 pub use estimate::{median_f64, quantile_f64, relative_error, Estimate};
-pub use merge::{merge_all, Mergeable};
+pub use merge::{merge_all, merge_tree, Mergeable, MERGE_TREE_CROSSOVER};
 pub use metrics::{
     ConcurrentMetrics, ConcurrentMetricsSnapshot, InsertTally, MetricsSnapshot, PropagationCause,
     SketchMetrics,

@@ -8,7 +8,7 @@
 //! counting) — implements [`Mergeable`], so referees, runners and
 //! experiments can be written once.
 
-use crate::error::Result;
+use crate::error::{Result, SketchError};
 
 /// A summary that supports lossless union with peers built from the same
 /// configuration/seed material.
@@ -24,16 +24,93 @@ pub trait Mergeable: Sized {
 /// The referee-side cost is `O(t · c)` for `t` parties with summaries of
 /// size `c` — independent of any stream's length, which is experiment
 /// E10's claim.
+///
+/// # Errors
+/// [`SketchError::EmptyUnion`] on an empty slice (there is no neutral
+/// summary to return), plus any error propagated from a pairwise merge.
 pub fn merge_all<T: Mergeable + Clone>(summaries: &[T]) -> Result<T> {
-    assert!(
-        !summaries.is_empty(),
-        "merge_all needs at least one summary"
-    );
-    let mut acc = summaries[0].clone();
-    for s in &summaries[1..] {
+    let (first, rest) = summaries.split_first().ok_or(SketchError::EmptyUnion)?;
+    let mut acc = first.clone();
+    for s in rest {
         acc.merge_from(s)?;
     }
     Ok(acc)
+}
+
+/// Below this many summaries, [`merge_tree`] runs the sequential fold —
+/// thread spawn/join overhead dominates a handful of `O(c)` merges.
+pub const MERGE_TREE_CROSSOVER: usize = 16;
+
+/// Union a non-empty slice of summaries by balanced tree reduction on
+/// scoped worker threads, producing a result identical to the sequential
+/// left fold of [`merge_all`].
+///
+/// Why reassociating is safe: a merged trial's level is the minimal level
+/// `≥` every operand's that fits the qualifying union in capacity, and its
+/// sample is exactly the qualifying subset of the union — both independent
+/// of parenthesization. Payload reconciliation is `stored.merge(incoming)`
+/// (earliest operand wins for the keep-first payloads), so the tree
+/// preserves the left-to-right operand order: workers fold *contiguous*
+/// chunks and layers pair *adjacent* accumulators, never commuting
+/// operands. DESIGN.md §12 carries the full argument.
+///
+/// # Errors
+/// [`SketchError::EmptyUnion`] on an empty slice, plus any propagated
+/// merge error.
+pub fn merge_tree<T: Mergeable + Clone + Send + Sync>(summaries: &[T]) -> Result<T> {
+    if summaries.is_empty() {
+        return Err(SketchError::EmptyUnion);
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if summaries.len() < MERGE_TREE_CROSSOVER || workers < 2 {
+        return merge_all(summaries);
+    }
+    // Fan out: fold contiguous chunks in parallel (order within a chunk is
+    // the sequential order, so payload reconciliation matches the fold).
+    let chunk_len = summaries.len().div_ceil(workers);
+    let mut layer: Vec<T> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = summaries
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move |_| merge_all(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("merge worker panicked"))
+            .collect::<Result<Vec<T>>>()
+    })
+    .expect("scope panicked")?;
+    // Reduce: pair *adjacent* accumulators until one remains.
+    while layer.len() > 1 {
+        let pairs: Vec<(T, Option<T>)> = {
+            let mut it = layer.into_iter();
+            let mut out = Vec::new();
+            while let Some(a) = it.next() {
+                out.push((a, it.next()));
+            }
+            out
+        };
+        layer = crossbeam::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .into_iter()
+                .map(|(mut a, b)| {
+                    scope.spawn(move |_| -> Result<T> {
+                        if let Some(b) = b {
+                            a.merge_from(&b)?;
+                        }
+                        Ok(a)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("merge worker panicked"))
+                .collect::<Result<Vec<T>>>()
+        })
+        .expect("scope panicked")?;
+    }
+    Ok(layer.pop().expect("non-empty by construction"))
 }
 
 impl<V: crate::trial::Payload> Mergeable for crate::sketch::GtSketch<V> {
@@ -86,9 +163,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one summary")]
-    fn merge_all_empty_panics() {
-        let _ = merge_all::<DistinctSketch>(&[]);
+    fn merge_all_empty_is_an_error_not_a_panic() {
+        assert_eq!(
+            merge_all::<DistinctSketch>(&[]).unwrap_err(),
+            crate::error::SketchError::EmptyUnion
+        );
+        assert_eq!(
+            merge_tree::<DistinctSketch>(&[]).unwrap_err(),
+            crate::error::SketchError::EmptyUnion
+        );
+    }
+
+    #[test]
+    fn merge_tree_matches_sequential_fold_across_the_crossover() {
+        let config = SketchConfig::new(0.2, 0.2).unwrap();
+        for t in [
+            1usize,
+            2,
+            MERGE_TREE_CROSSOVER - 1,
+            MERGE_TREE_CROSSOVER,
+            37,
+        ] {
+            let parties: Vec<DistinctSketch> = (0..t as u64)
+                .map(|p| {
+                    let mut s = DistinctSketch::new(&config, 11);
+                    s.extend_labels(labels(p * 300..(p + 2) * 300));
+                    s
+                })
+                .collect();
+            let seq = merge_all(&parties).unwrap();
+            let tree = merge_tree(&parties).unwrap();
+            assert_eq!(tree.sample_entries(), seq.sample_entries(), "t = {t}");
+            assert_eq!(tree.items_observed(), seq.items_observed(), "t = {t}");
+            assert_eq!(
+                tree.estimate_distinct().value,
+                seq.estimate_distinct().value,
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_tree_propagates_coordination_errors() {
+        let config = SketchConfig::new(0.2, 0.2).unwrap();
+        let mut parties: Vec<DistinctSketch> = (0..MERGE_TREE_CROSSOVER as u64 + 4)
+            .map(|_| DistinctSketch::new(&config, 1))
+            .collect();
+        parties.push(DistinctSketch::new(&config, 2)); // uncoordinated seed
+        assert!(merge_tree(&parties).is_err());
     }
 
     #[test]

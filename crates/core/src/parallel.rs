@@ -17,7 +17,7 @@
 //! the speedup curve.
 
 use crate::error::Result;
-use crate::merge::merge_all;
+use crate::merge::{merge_all, merge_tree};
 use crate::params::SketchConfig;
 use crate::sketch::{DistinctSketch, GtSketch};
 use crate::trial::Payload;
@@ -116,44 +116,17 @@ pub fn build_parallel_with<V: Payload + Send + Sync>(
 
 /// Merge a set of per-party sketches pairwise in parallel (tree reduction).
 ///
-/// For small `t` the sequential fold in [`merge_all`] is fine; this exists
-/// for referees that aggregate hundreds of parties, where the reduction
-/// depth drops from `t` to `log₂ t`.
+/// Thin wrapper over [`merge_tree`], kept for its by-value signature. For
+/// small `t` the sequential fold in [`merge_all`] is what actually runs
+/// (the crossover lives in `merge_tree`); the tree pays off for referees
+/// that aggregate hundreds of parties, where the reduction depth drops
+/// from `t` to `log₂ t`.
+///
+/// # Errors
+/// [`crate::SketchError::EmptyUnion`] on an empty vector, plus any
+/// propagated merge error.
 pub fn merge_all_parallel(summaries: Vec<DistinctSketch>) -> Result<DistinctSketch> {
-    assert!(
-        !summaries.is_empty(),
-        "merge_all_parallel needs at least one summary"
-    );
-    let mut layer = summaries;
-    while layer.len() > 1 {
-        let pairs: Vec<(DistinctSketch, Option<DistinctSketch>)> = {
-            let mut it = layer.into_iter();
-            let mut out = Vec::new();
-            while let Some(a) = it.next() {
-                out.push((a, it.next()));
-            }
-            out
-        };
-        layer = crossbeam::scope(|scope| {
-            let handles: Vec<_> = pairs
-                .into_iter()
-                .map(|(mut a, b)| {
-                    scope.spawn(move |_| -> Result<DistinctSketch> {
-                        if let Some(b) = b {
-                            a.merge_from(&b)?;
-                        }
-                        Ok(a)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("merge worker panicked"))
-                .collect::<Result<Vec<_>>>()
-        })
-        .expect("scope panicked")?;
-    }
-    Ok(layer.pop().expect("non-empty by construction"))
+    merge_tree(&summaries)
 }
 
 #[cfg(test)]
@@ -252,8 +225,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one summary")]
-    fn tree_merge_empty_panics() {
-        let _ = merge_all_parallel(vec![]);
+    fn tree_merge_empty_is_an_error() {
+        assert_eq!(
+            merge_all_parallel(vec![]).unwrap_err(),
+            crate::error::SketchError::EmptyUnion
+        );
     }
 }

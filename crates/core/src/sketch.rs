@@ -263,11 +263,67 @@ impl<V: Payload> GtSketch<V> {
         Ok(())
     }
 
+    /// Union via the per-entry reference path
+    /// ([`CoordinatedTrial::merge_from_reference`]) instead of the bulk
+    /// kernel. Same checks, same metrics recording, bitwise-identical
+    /// result — kept as the equivalence oracle for tests and as the
+    /// `sequential reference` contender in experiment `e19`.
+    ///
+    /// # Errors
+    /// As [`GtSketch::merge_from`].
+    pub fn merge_from_reference(&mut self, other: &GtSketch<V>) -> Result<()> {
+        if self.master_seed != other.master_seed {
+            return Err(SketchError::SeedMismatch);
+        }
+        if self.config != other.config {
+            return Err(SketchError::ConfigMismatch {
+                detail: format!("{:?} vs {:?}", self.config, other.config),
+            });
+        }
+        self.metrics.record_merge_call();
+        for (mine, theirs) in self.trials.iter_mut().zip(other.trials.iter()) {
+            let report = mine.merge_from_reference(theirs)?;
+            self.metrics.record_trial_merge(&report);
+        }
+        Ok(())
+    }
+
     /// Union of two sketches as a new sketch.
     pub fn merged(&self, other: &GtSketch<V>) -> Result<GtSketch<V>> {
         let mut out = self.clone();
         out.merge_from(other)?;
         Ok(out)
+    }
+
+    /// In-place counterpart of [`GtSketch::reassemble`] for one trial:
+    /// reload trial `index` with transmitted state, reusing its sample
+    /// storage (see [`CoordinatedTrial::reload`]). The referee's decode
+    /// arena calls this once per wire trial to refill a pooled sketch
+    /// without allocating.
+    ///
+    /// On `Err` the trial's state is unspecified; the sketch must be
+    /// fully reloaded (or discarded) before use.
+    ///
+    /// # Errors
+    /// [`SketchError::ConfigMismatch`] if `index` is out of range, plus
+    /// everything [`CoordinatedTrial::from_parts`] rejects.
+    pub fn reload_trial(
+        &mut self,
+        index: usize,
+        level: u8,
+        items_observed: u64,
+        entries: impl IntoIterator<Item = (u64, V)>,
+    ) -> Result<()> {
+        let trial = self
+            .trials
+            .get_mut(index)
+            .ok_or_else(|| SketchError::ConfigMismatch {
+                detail: format!(
+                    "trial index {index} out of range for {} trials",
+                    self.config.trials()
+                ),
+            })?;
+        trial.reload(level, items_observed, entries)
     }
 
     /// Raise every trial's sampling level to at least `other`'s, returning
@@ -818,6 +874,71 @@ mod tests {
         // The duplicate reconciles once per trial (level 0 everywhere).
         assert_eq!(snap.local_reconciliations, config.trials() as u64);
         assert_eq!(snap.reconciliations(), snap.local_reconciliations);
+    }
+
+    #[test]
+    fn reference_union_matches_kernel_union_bitwise() {
+        let config = cfg(0.1, 0.1);
+        let mut a = GtSketch::<u64>::new(&config, 60);
+        let mut b = GtSketch::<u64>::new(&config, 60);
+        for (i, l) in labels(30_000, 61).enumerate() {
+            a.insert_merging_with(l, i as u64);
+        }
+        for (i, l) in labels(30_000, 62).enumerate() {
+            b.insert_merging_with(l, (i as u64) ^ 0xBEEF);
+        }
+        let mut via_kernel = a.clone();
+        via_kernel.merge_from(&b).unwrap();
+        let mut via_reference = a.clone();
+        via_reference.merge_from_reference(&b).unwrap();
+        let state = |s: &GtSketch<u64>| -> Vec<(u8, u64, std::collections::BTreeMap<u64, u64>)> {
+            s.trials()
+                .iter()
+                .map(|t| (t.level(), t.items_observed(), t.sample_iter().collect()))
+                .collect()
+        };
+        assert_eq!(state(&via_kernel), state(&via_reference));
+        assert_eq!(
+            via_kernel.metrics_snapshot(),
+            via_reference.metrics_snapshot(),
+            "merge metrics must agree entry for entry"
+        );
+    }
+
+    #[test]
+    fn reload_trial_refills_in_place() {
+        let config = cfg(0.2, 0.2);
+        let mut donor = DistinctSketch::new(&config, 70);
+        donor.extend_labels(labels(5_000, 71));
+        let states: Vec<TrialState<()>> = donor
+            .trials()
+            .iter()
+            .map(|t| (t.level(), t.items_observed(), t.sample_iter().collect()))
+            .collect();
+        let reassembled = DistinctSketch::reassemble(&config, 70, states.clone()).unwrap();
+        let mut pooled = DistinctSketch::new(&config, 70);
+        pooled.extend_labels(labels(900, 72)); // dirty the pooled storage
+        for (i, (level, items, entries)) in states.into_iter().enumerate() {
+            pooled.reload_trial(i, level, items, entries).unwrap();
+        }
+        let state = |s: &DistinctSketch| -> Vec<(u8, u64, std::collections::BTreeSet<u64>)> {
+            s.trials()
+                .iter()
+                .map(|t| {
+                    (
+                        t.level(),
+                        t.items_observed(),
+                        t.sample_iter().map(|(k, _)| k).collect(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(state(&pooled), state(&reassembled));
+        // Out-of-range index is an error, not a panic.
+        assert!(matches!(
+            pooled.reload_trial(usize::MAX, 0, 0, vec![]),
+            Err(SketchError::ConfigMismatch { .. })
+        ));
     }
 
     #[test]

@@ -168,8 +168,9 @@ impl<V: crate::codec::WirePayload> Collector<V> {
     /// `messages` must be unique.
     ///
     /// Rounds proceed as: (re)send every pending party's message, advance
-    /// the virtual clock by the current timeout, hand every delivery to
-    /// the referee, acknowledge parties whose data is in (acks may be
+    /// the virtual clock by the current timeout, hand the round's
+    /// deliveries to the referee as one batch (unioned via tree
+    /// reduction), acknowledge parties whose data is in (acks may be
     /// lost), double the timeout up to the cap. After the budget is
     /// spent, in-flight stragglers are drained — at-least-once channels
     /// deliver late rather than never — and still count toward the union.
@@ -196,26 +197,24 @@ impl<V: crate::codec::WirePayload> Collector<V> {
             }
             rounds += 1;
             let deadline = self.transport.now().saturating_add(timeout);
-            for delivery in self.transport.advance(deadline) {
-                self.handle(
-                    delivery,
-                    &index_of,
-                    &mut per_party,
-                    &mut pending,
-                    &mut late_arrivals,
-                );
-            }
-            timeout = timeout.saturating_mul(2).min(timeout_cap);
-        }
-        for delivery in self.transport.drain() {
-            self.handle(
-                delivery,
+            let deliveries = self.transport.advance(deadline);
+            self.handle_batch(
+                &deliveries,
                 &index_of,
                 &mut per_party,
                 &mut pending,
                 &mut late_arrivals,
             );
+            timeout = timeout.saturating_mul(2).min(timeout_cap);
         }
+        let stragglers = self.transport.drain();
+        self.handle_batch(
+            &stragglers,
+            &index_of,
+            &mut per_party,
+            &mut pending,
+            &mut late_arrivals,
+        );
 
         let budget_exhausted: Vec<usize> = per_party
             .iter()
@@ -240,39 +239,53 @@ impl<V: crate::codec::WirePayload> Collector<V> {
         }
     }
 
-    fn handle(
+    /// Feed one round's deliveries to the referee as a single batch (the
+    /// tree-reduction union path), then walk the per-delivery receipts in
+    /// arrival order so the attempt accounting — `acked_at`, late
+    /// arrivals, ack-loss RNG draws — is indistinguishable from handling
+    /// each delivery on its own.
+    fn handle_batch(
         &mut self,
-        delivery: Delivery,
+        deliveries: &[Delivery],
         index_of: &HashMap<usize, usize>,
         per_party: &mut [PartyAttempts],
         pending: &mut BTreeSet<usize>,
         late_arrivals: &mut usize,
     ) {
-        let Some(&i) = index_of.get(&delivery.msg.party_id) else {
-            return; // not one of ours (cannot happen via collect)
-        };
-        if per_party[i].acked_at.is_some() {
-            *late_arrivals += 1;
+        let ours: Vec<&Delivery> = deliveries
+            .iter()
+            .filter(|d| index_of.contains_key(&d.msg.party_id)) // cannot fail via collect
+            .collect();
+        if ours.is_empty() {
+            return;
         }
-        match self.referee.receive(&delivery.msg) {
-            Ok(_receipt) => {
-                if per_party[i].acked_at.is_none() {
-                    per_party[i].acked_at = Some(delivery.at);
-                }
-                // The data is in; tell the party to stop — unless the ack
-                // itself is lost, in which case it retransmits next round
-                // and the referee dedups.
-                let ack_lost = self.policy.ack_drop_probability > 0.0
-                    && self
-                        .ack_rng
-                        .gen_bool(self.policy.ack_drop_probability.clamp(0.0, 1.0));
-                if !ack_lost {
-                    pending.remove(&i);
-                }
+        let batch: Vec<PartyMessage> = ours.iter().map(|d| d.msg.clone()).collect();
+        let outcomes = self.referee.receive_batch(&batch);
+        for (delivery, outcome) in ours.iter().zip(outcomes) {
+            let i = index_of[&delivery.msg.party_id];
+            if per_party[i].acked_at.is_some() {
+                *late_arrivals += 1;
             }
-            Err(_) => {
-                // Corrupt/invalid delivery: the party stays pending and
-                // will be retried if budget remains.
+            match outcome {
+                Ok(_receipt) => {
+                    if per_party[i].acked_at.is_none() {
+                        per_party[i].acked_at = Some(delivery.at);
+                    }
+                    // The data is in; tell the party to stop — unless the
+                    // ack itself is lost, in which case it retransmits
+                    // next round and the referee dedups.
+                    let ack_lost = self.policy.ack_drop_probability > 0.0
+                        && self
+                            .ack_rng
+                            .gen_bool(self.policy.ack_drop_probability.clamp(0.0, 1.0));
+                    if !ack_lost {
+                        pending.remove(&i);
+                    }
+                }
+                Err(_) => {
+                    // Corrupt/invalid delivery: the party stays pending
+                    // and will be retried if budget remains.
+                }
             }
         }
     }

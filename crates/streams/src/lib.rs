@@ -46,13 +46,19 @@ pub mod topology;
 pub mod transport;
 pub mod workload;
 
-pub use codec::{decode_sketch, encode_sketch, payload_fingerprint};
+pub use codec::{
+    decode_sketch, decode_sketch_into, encode_sketch, payload_fingerprint, DecodeScratch,
+    WirePayload,
+};
 pub use collector::{collect_once, CollectionReport, Collector, PartyAttempts, RetryPolicy};
 pub use faults::{run_with_faults, FateCounts, FaultReport, FaultSpec, MessageFate};
 pub use netflow::{FlowRecord, FlowWorkload};
 pub use oracle::StreamOracle;
 pub use party::{Party, PartyMessage};
-pub use referee::{PartialEstimate, Receipt, Referee, RefereeOf, RefereeTelemetry};
+pub use referee::{
+    batch_size_bucket, PartialEstimate, Receipt, Referee, RefereeOf, RefereeTelemetry,
+    BATCH_BUCKET_LABELS,
+};
 pub use runner::{
     run_live_query_scenario, run_resilient_scenario, run_scenario, LiveQueryReport,
     LiveQuerySample, PartyPhases, ResilientReport, ScenarioReport,

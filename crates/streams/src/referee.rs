@@ -30,10 +30,27 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use gt_core::{Estimate, GtSketch, SketchConfig};
+use gt_core::{merge_tree, Estimate, GtSketch, SketchConfig};
 
-use crate::codec::{decode_sketch, payload_fingerprint, CodecError, WirePayload};
+use crate::codec::{
+    decode_sketch, decode_sketch_into, payload_fingerprint, CodecError, DecodeScratch, WirePayload,
+};
 use crate::party::PartyMessage;
+
+/// Histogram bucket labels for [`RefereeTelemetry::summaries_per_batch`]:
+/// bucket `i` counts batches whose size fell in the `i`-th range.
+pub const BATCH_BUCKET_LABELS: [&str; 5] = ["1", "2-4", "5-16", "17-64", "65+"];
+
+/// Map a batch size to its [`BATCH_BUCKET_LABELS`] bucket index.
+pub fn batch_size_bucket(summaries: usize) -> usize {
+    match summaries {
+        0..=1 => 0,
+        2..=4 => 1,
+        5..=16 => 2,
+        17..=64 => 3,
+        _ => 4,
+    }
+}
 
 /// Per-stage accounting of everything the referee was handed.
 ///
@@ -66,6 +83,13 @@ pub struct RefereeTelemetry {
     pub decode_time: Duration,
     /// Time spent merging decoded sketches into the union.
     pub merge_time: Duration,
+    /// Batched receive calls ([`RefereeOf::receive_batch`] with a
+    /// non-empty slice); per-message [`RefereeOf::receive`] never counts
+    /// here.
+    pub batches: usize,
+    /// Histogram of batch sizes (messages per batch), bucketed per
+    /// [`BATCH_BUCKET_LABELS`].
+    pub summaries_per_batch: [usize; 5],
 }
 
 impl RefereeTelemetry {
@@ -168,6 +192,13 @@ pub struct RefereeOf<V: WirePayload> {
     /// party's first accepted message, later entries are merged variants.
     accepted_payloads: HashMap<usize, Vec<u64>>,
     telemetry: RefereeTelemetry,
+    /// Pooled scratch sketches for [`RefereeOf::receive_batch`]: messages
+    /// decode into these in place (no per-message sketch allocation), and
+    /// the pool only ever grows to the historical maximum of accepted
+    /// messages per batch.
+    decode_arena: Vec<GtSketch<V>>,
+    /// Reusable decode buffers shared across the arena.
+    scratch: DecodeScratch<V>,
 }
 
 /// The referee for plain distinct-count sketches (no payload).
@@ -185,6 +216,8 @@ impl<V: WirePayload> RefereeOf<V> {
             items_reported: 0,
             accepted_payloads: HashMap::new(),
             telemetry: RefereeTelemetry::default(),
+            decode_arena: Vec::new(),
+            scratch: DecodeScratch::new(),
         }
     }
 
@@ -199,7 +232,6 @@ impl<V: WirePayload> RefereeOf<V> {
             self.telemetry.duplicates_suppressed += 1;
             return Ok(Receipt::Duplicate);
         }
-        let heard_before = prior.is_some();
 
         let decode_start = Instant::now();
         let decoded = decode_sketch::<V>(msg.payload.clone()).and_then(|sketch| {
@@ -225,19 +257,151 @@ impl<V: WirePayload> RefereeOf<V> {
             self.telemetry.record_reject(&e);
             return Err(e);
         }
+        Ok(self.commit_accepted(msg.party_id, fingerprint, msg.bytes(), msg.items_observed))
+    }
+
+    /// Receive a whole batch of deliveries at once: fingerprint-dedup up
+    /// front, decode into the pooled arena (zero per-message sketch
+    /// allocation), tree-union the accepted sketches
+    /// ([`gt_core::merge_tree`]), and fold the batch union into the
+    /// running union with a single merge.
+    ///
+    /// Returns one receipt per input message, in order. The union sketch
+    /// state, all exactly-once counters (`messages`, `bytes_received`,
+    /// `items_reported`), and every count-based telemetry field match a
+    /// sequence of per-message [`RefereeOf::receive`] calls on the same
+    /// messages in the same order — the tree reassociation is lossless
+    /// (see DESIGN.md §12). The only observable differences are
+    /// per-batch: the union sketch's *ops metrics* count one merge call
+    /// per batch instead of one per accepted message, and
+    /// [`RefereeTelemetry::batches`] / summaries-per-batch advance.
+    pub fn receive_batch(&mut self, msgs: &[PartyMessage]) -> Vec<Result<Receipt, CodecError>> {
+        let mut receipts: Vec<Result<Receipt, CodecError>> = Vec::with_capacity(msgs.len());
+        if msgs.is_empty() {
+            return receipts;
+        }
+        self.telemetry.batches += 1;
+        self.telemetry.summaries_per_batch[batch_size_bucket(msgs.len())] += 1;
+
+        // Accepted-message bookkeeping, deferred until the batch union
+        // commits. The k-th accepted message lives in decode_arena[k].
+        struct Accepted {
+            receipt_index: usize,
+            party_id: usize,
+            fingerprint: u64,
+            bytes: usize,
+            items: u64,
+        }
+        let mut accepted: Vec<Accepted> = Vec::new();
+
+        // Phase 1: dedup + decode. Only messages that actually decode
+        // (and will therefore be accepted) may suppress later identical
+        // bytes — a corrupt message redelivered within one batch must
+        // error twice, exactly as sequential receives would.
+        let decode_start = Instant::now();
+        for msg in msgs {
+            let fingerprint = payload_fingerprint(&msg.payload);
+            let dup = self
+                .accepted_payloads
+                .get(&msg.party_id)
+                .is_some_and(|fps| fps.contains(&fingerprint))
+                || accepted
+                    .iter()
+                    .any(|a| a.party_id == msg.party_id && a.fingerprint == fingerprint);
+            if dup {
+                self.telemetry.duplicates_suppressed += 1;
+                receipts.push(Ok(Receipt::Duplicate));
+                continue;
+            }
+            if self.decode_arena.len() == accepted.len() {
+                self.decode_arena
+                    .push(GtSketch::new(self.union.config(), self.master_seed));
+            }
+            let slot = &mut self.decode_arena[accepted.len()];
+            match decode_sketch_into(slot, msg.payload.clone(), &mut self.scratch) {
+                Ok(()) => {
+                    accepted.push(Accepted {
+                        receipt_index: receipts.len(),
+                        party_id: msg.party_id,
+                        fingerprint,
+                        bytes: msg.bytes(),
+                        items: msg.items_observed,
+                    });
+                    // Placeholder; finalized at commit time below.
+                    receipts.push(Ok(Receipt::Merged));
+                }
+                Err(e) => {
+                    self.telemetry.record_reject(&e);
+                    receipts.push(Err(e));
+                }
+            }
+        }
+        self.telemetry.decode_time += decode_start.elapsed();
+        if accepted.is_empty() {
+            return receipts;
+        }
+
+        // Phase 2: balanced tree union over the batch, then one fold into
+        // the running union. Cannot fail on this path — every arena
+        // sketch was decoded against the union's own seed and config —
+        // but a defensive sequential fallback preserves exact per-message
+        // attribution if that invariant is ever broken.
+        let merge_start = Instant::now();
+        let merged = merge_tree(&self.decode_arena[..accepted.len()])
+            .and_then(|batch_union| self.union.merge_from(&batch_union));
+        self.telemetry.merge_time += merge_start.elapsed();
+        match merged {
+            Ok(()) => {
+                for a in accepted {
+                    receipts[a.receipt_index] =
+                        Ok(self.commit_accepted(a.party_id, a.fingerprint, a.bytes, a.items));
+                }
+            }
+            Err(_) => {
+                for (k, a) in accepted.into_iter().enumerate() {
+                    let merge_start = Instant::now();
+                    let merged = self.union.merge_from(&self.decode_arena[k]);
+                    self.telemetry.merge_time += merge_start.elapsed();
+                    receipts[a.receipt_index] = match merged {
+                        Ok(()) => {
+                            Ok(self.commit_accepted(a.party_id, a.fingerprint, a.bytes, a.items))
+                        }
+                        Err(e) => {
+                            let e = CodecError::from(e);
+                            self.telemetry.record_reject(&e);
+                            Err(e)
+                        }
+                    };
+                }
+            }
+        }
+        receipts
+    }
+
+    /// Exactly-once bookkeeping for one accepted message (shared by the
+    /// per-message and batch paths): push the fingerprint and bill the
+    /// party once.
+    fn commit_accepted(
+        &mut self,
+        party_id: usize,
+        fingerprint: u64,
+        bytes: usize,
+        items: u64,
+    ) -> Receipt {
+        let heard_before = self.accepted_payloads.contains_key(&party_id);
         self.accepted_payloads
-            .entry(msg.party_id)
+            .entry(party_id)
             .or_default()
             .push(fingerprint);
         if heard_before {
             self.telemetry.duplicates_merged += 1;
-            Ok(Receipt::MergedVariant)
+            Receipt::MergedVariant
         } else {
             self.telemetry.accepted += 1;
             self.messages += 1;
-            self.bytes_received += msg.bytes();
-            self.items_reported += msg.items_observed;
-            Ok(Receipt::Merged)
+            self.bytes_received += bytes;
+            self.items_reported += items;
+            Receipt::Merged
         }
     }
 
@@ -533,6 +697,124 @@ mod tests {
             "weighted union {estimated} vs {expected}"
         );
         assert_eq!(referee.telemetry().duplicates_suppressed, 2);
+    }
+
+    /// Zero the fields that legitimately differ between the batch and
+    /// per-message paths (timings are nondeterministic; batch counters
+    /// only advance on the batch path), leaving every exactly-once count.
+    fn countable(t: &RefereeTelemetry) -> RefereeTelemetry {
+        RefereeTelemetry {
+            decode_time: Duration::ZERO,
+            merge_time: Duration::ZERO,
+            batches: 0,
+            summaries_per_batch: [0; 5],
+            ..*t
+        }
+    }
+
+    #[test]
+    fn receive_batch_matches_sequential_receives() {
+        // A messy batch: good messages, an in-batch byte-identical
+        // duplicate, a corrupt message delivered twice (must error twice,
+        // not dedup), a foreign seed, and a variant payload from an
+        // already-heard party. Union bytes, counters, receipts, and
+        // count-based telemetry must all match per-message receives.
+        let good0 = message(0, 0..300, 5);
+        let good1 = message(1, 150..450, 5);
+        let variant0 = message(0, 0..400, 5);
+        let mut corrupt = message(2, 0..200, 5);
+        let mut raw = corrupt.payload.to_vec();
+        raw.truncate(raw.len() / 2);
+        corrupt.payload = bytes::Bytes::from(raw);
+        let foreign = message(3, 0..100, 99);
+        let batch = [
+            good0.clone(),
+            corrupt.clone(),
+            good1.clone(),
+            good0.clone(),   // in-batch duplicate
+            corrupt.clone(), // corrupt redelivery: Err again, not Duplicate
+            variant0.clone(),
+            foreign.clone(),
+        ];
+
+        let mut sequential = Referee::new(&cfg(), 5);
+        let want_receipts: Vec<_> = batch.iter().map(|m| sequential.receive(m)).collect();
+
+        for split in [batch.len(), 3, 1] {
+            let mut batched = Referee::new(&cfg(), 5);
+            let mut got_receipts = Vec::new();
+            for chunk in batch.chunks(split) {
+                got_receipts.extend(batched.receive_batch(chunk));
+            }
+            assert_eq!(got_receipts, want_receipts, "split {split}");
+            assert_eq!(
+                encode_sketch(batched.union_sketch()),
+                encode_sketch(sequential.union_sketch()),
+                "split {split}: union state diverged"
+            );
+            assert_eq!(batched.messages(), sequential.messages());
+            assert_eq!(batched.bytes_received(), sequential.bytes_received());
+            assert_eq!(batched.items_reported(), sequential.items_reported());
+            assert_eq!(batched.parties_heard(), sequential.parties_heard());
+            assert_eq!(
+                countable(batched.telemetry()),
+                countable(sequential.telemetry()),
+                "split {split}"
+            );
+            assert_eq!(batched.telemetry().batches, batch.len().div_ceil(split));
+        }
+    }
+
+    #[test]
+    fn batch_telemetry_histogram_buckets_sizes() {
+        assert_eq!(batch_size_bucket(1), 0);
+        assert_eq!(batch_size_bucket(2), 1);
+        assert_eq!(batch_size_bucket(4), 1);
+        assert_eq!(batch_size_bucket(5), 2);
+        assert_eq!(batch_size_bucket(16), 2);
+        assert_eq!(batch_size_bucket(17), 3);
+        assert_eq!(batch_size_bucket(64), 3);
+        assert_eq!(batch_size_bucket(65), 4);
+
+        let mut referee = Referee::new(&cfg(), 5);
+        // Empty batch: no state change, not even the batch counter.
+        assert!(referee.receive_batch(&[]).is_empty());
+        assert_eq!(referee.telemetry().batches, 0);
+
+        let msgs: Vec<PartyMessage> = (0..6).map(|p| message(p, 0..50, 5)).collect();
+        referee.receive_batch(&msgs[0..1]);
+        referee.receive_batch(&msgs[1..4]);
+        referee.receive_batch(&msgs[0..6]);
+        let t = referee.telemetry();
+        assert_eq!(t.batches, 3);
+        assert_eq!(t.summaries_per_batch, [1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn batch_arena_is_reused_across_batches() {
+        // The pool grows to the largest batch's accepted count and stays
+        // there; a later larger batch still produces the right union.
+        let config = cfg();
+        let mut referee = Referee::new(&config, 5);
+        let first: Vec<PartyMessage> = (0..2).map(|p| message(p, 0..100, 5)).collect();
+        let second: Vec<PartyMessage> = (2..7)
+            .map(|p| message(p, p as u64 * 50..p as u64 * 50 + 100, 5))
+            .collect();
+        for r in referee.receive_batch(&first) {
+            assert_eq!(r.unwrap(), Receipt::Merged);
+        }
+        for r in referee.receive_batch(&second) {
+            assert_eq!(r.unwrap(), Receipt::Merged);
+        }
+        let mut oracle = Referee::new(&config, 5);
+        for m in first.iter().chain(second.iter()) {
+            oracle.receive(m).unwrap();
+        }
+        assert_eq!(
+            encode_sketch(referee.union_sketch()),
+            encode_sketch(oracle.union_sketch())
+        );
+        assert_eq!(referee.parties_heard(), 7);
     }
 
     #[test]

@@ -144,13 +144,24 @@ pub fn run_scenario(
         drop(tx);
         // Referee loop, pipelined: runs on this thread while party
         // threads are still observing; exits when every sender is done.
+        // Messages that queued up while the referee was busy are drained
+        // into one batch and unioned through the tree-reduction batch
+        // path, so referee cost grows with batches, not messages.
+        let mut batch: Vec<PartyMessage> = Vec::with_capacity(t);
         while let Ok((msg, phases)) = rx.recv() {
             let busy_start = Instant::now();
+            batch.clear();
             bytes_per_party[msg.party_id] = msg.bytes();
             party_phases[msg.party_id] = phases;
-            referee
-                .receive(&msg)
-                .expect("coordinated message must decode");
+            batch.push(msg);
+            while let Ok((msg, phases)) = rx.try_recv() {
+                bytes_per_party[msg.party_id] = msg.bytes();
+                party_phases[msg.party_id] = phases;
+                batch.push(msg);
+            }
+            for outcome in referee.receive_batch(&batch) {
+                outcome.expect("coordinated message must decode");
+            }
             referee_busy += busy_start.elapsed();
         }
     })
@@ -500,8 +511,12 @@ mod tests {
         assert_eq!(t.duplicates(), 0);
         assert_eq!(t.attempts(), 4);
         assert!(t.decode_time + t.merge_time <= report.referee_time);
-        // Union sketch counters saw all four merges.
-        assert_eq!(report.union_metrics.merge_calls, 4);
+        // Batched referee: one union merge per batch, at most one batch
+        // per message, and the histogram accounts for every batch.
+        assert!(t.batches >= 1 && t.batches <= 4, "batches {}", t.batches);
+        assert_eq!(t.summaries_per_batch.iter().sum::<usize>(), t.batches);
+        let calls = report.union_metrics.merge_calls;
+        assert!((1..=4).contains(&calls), "merge_calls {calls}");
         assert!(report.union_metrics.merge_entries_absorbed > 0);
     }
 

@@ -41,8 +41,8 @@
 
 pub use gt_core::{
     compact, concurrent, error, estimate, harmonize, jaccard_matrix, median_f64, merge, merge_all,
-    metrics, parallel, params, predicate, quantile_f64, recency, relative_error, sample,
-    similarity, sketch, sumdistinct, trial, ConcurrentMetricsSnapshot, ConcurrentSketch,
+    merge_tree, metrics, parallel, params, predicate, quantile_f64, recency, relative_error,
+    sample, similarity, sketch, sumdistinct, trial, ConcurrentMetricsSnapshot, ConcurrentSketch,
     CoordinatedTrial, DistinctSample, DistinctSketch, Estimate, GtSketch, InsertStats, LatestTs,
     Mergeable, MetricsSnapshot, Payload, PropagationCause, RecencySketch, Result, ShardedSketch,
     SimilarityEstimate, SketchConfig, SketchError, SketchMetrics, SketchSnapshot, SketchWriter,

@@ -199,14 +199,16 @@ fn referee_state(r: &Referee) -> (Vec<u8>, usize, usize, u64, gt_sketch::Metrics
 }
 
 /// The order-independent subset of [`referee_state`]: canonical union
-/// bytes, exactly-once counters, and the merge count (one per party).
-fn referee_state_order_free(r: &Referee) -> (Vec<u8>, usize, usize, u64, u64) {
+/// bytes and exactly-once counters. `merge_calls` is deliberately
+/// excluded: the batched collection plane folds each retry round in one
+/// union merge, so the count depends on how deliveries clumped into
+/// rounds (it is an observability counter, never on the wire).
+fn referee_state_order_free(r: &Referee) -> (Vec<u8>, usize, usize, u64) {
     (
         encode_sketch(r.union_sketch()).to_vec(),
         r.messages(),
         r.bytes_received(),
         r.items_reported(),
-        r.union_metrics().merge_calls,
     )
 }
 

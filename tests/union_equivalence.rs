@@ -1,0 +1,119 @@
+//! Property tests for the union-reduction paths: the parallel tree
+//! reduction (`merge_tree`) must be indistinguishable — on canonical wire
+//! bytes, the strongest equality the codec offers — from the sequential
+//! `merge_all` fold and from *any* pairwise merge order. This is the
+//! associativity/commutativity of the coordinated union made executable:
+//! if it breaks, the referee's batched pipeline silently diverges from
+//! the paper's single-observer semantics.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gt_sketch::streams::encode_sketch;
+use gt_sketch::{merge_all, merge_tree, DistinctSketch, SketchConfig, SketchError};
+
+/// Small capacities + trials so promotions happen even on small inputs.
+fn small_config() -> SketchConfig {
+    SketchConfig::from_shape(0.3, 0.3, 16, 5, gt_sketch::HashFamilyKind::Pairwise).unwrap()
+}
+
+fn sketch_of(labels: &[u64], seed: u64) -> DistinctSketch {
+    let mut s = DistinctSketch::new(&small_config(), seed);
+    s.extend_labels(labels.iter().map(|&l| gt_sketch::fold61(l)));
+    s
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `merge_tree` ≡ `merge_all` on canonical encoded bytes, across
+    /// party counts straddling the tree's sequential crossover.
+    #[test]
+    fn tree_matches_sequential_fold(
+        parties in vec(vec(0u64..4_000, 0..250), 1..20),
+        seed in 0u64..64,
+    ) {
+        let sketches: Vec<DistinctSketch> =
+            parties.iter().map(|p| sketch_of(p, seed)).collect();
+        let seq = merge_all(&sketches).unwrap();
+        let tree = merge_tree(&sketches).unwrap();
+        prop_assert_eq!(encode_sketch(&tree), encode_sketch(&seq));
+    }
+
+    /// Any random pairwise merge schedule — pick two survivors, merge one
+    /// into the other, repeat — lands on the same canonical bytes as the
+    /// sequential left fold. This is strictly stronger than what the tree
+    /// needs (adjacent in-order pairs) and pins down full
+    /// order-insensitivity for label-only sketches.
+    #[test]
+    fn any_pairwise_merge_order_is_canonical(
+        parties in vec(vec(0u64..4_000, 0..200), 2..12),
+        seed in 0u64..64,
+        schedule in any::<u64>(),
+    ) {
+        let mut schedule = schedule;
+        let sketches: Vec<DistinctSketch> =
+            parties.iter().map(|p| sketch_of(p, seed)).collect();
+        let seq = merge_all(&sketches).unwrap();
+        let mut pool = sketches;
+        while pool.len() > 1 {
+            let i = (splitmix(&mut schedule) as usize) % pool.len();
+            let absorbed = pool.swap_remove(i);
+            let j = (splitmix(&mut schedule) as usize) % pool.len();
+            pool[j].merge_from(&absorbed).unwrap();
+        }
+        prop_assert_eq!(encode_sketch(&pool[0]), encode_sketch(&seq));
+    }
+
+    /// Level skew: one party far past capacity (high sampling level)
+    /// among tiny level-0 parties. The tree's intermediate accumulators
+    /// align levels in a different order than the fold; the result must
+    /// not care.
+    #[test]
+    fn level_skew_does_not_break_equivalence(
+        big in vec(0u64..100_000, 1_500..2_000),
+        smalls in vec(vec(0u64..4_000, 0..50), 1..8),
+        position in 0usize..8,
+        seed in 0u64..16,
+    ) {
+        let mut sketches: Vec<DistinctSketch> =
+            smalls.iter().map(|p| sketch_of(p, seed)).collect();
+        sketches.insert(position.min(sketches.len()), sketch_of(&big, seed));
+        let seq = merge_all(&sketches).unwrap();
+        let tree = merge_tree(&sketches).unwrap();
+        prop_assert_eq!(encode_sketch(&tree), encode_sketch(&seq));
+    }
+
+    /// A one-party union is the identity, bitwise.
+    #[test]
+    fn single_party_union_is_identity(
+        labels in vec(0u64..4_000, 0..300),
+        seed in 0u64..32,
+    ) {
+        let s = sketch_of(&labels, seed);
+        let one = std::slice::from_ref(&s);
+        prop_assert_eq!(encode_sketch(&merge_all(one).unwrap()), encode_sketch(&s));
+        prop_assert_eq!(encode_sketch(&merge_tree(one).unwrap()), encode_sketch(&s));
+    }
+}
+
+/// Zero parties is a typed error on both paths, not a panic.
+#[test]
+fn empty_union_is_an_error() {
+    assert_eq!(
+        merge_all::<DistinctSketch>(&[]).unwrap_err(),
+        SketchError::EmptyUnion
+    );
+    assert_eq!(
+        merge_tree::<DistinctSketch>(&[]).unwrap_err(),
+        SketchError::EmptyUnion
+    );
+}
