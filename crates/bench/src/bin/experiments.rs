@@ -83,6 +83,8 @@ fn print_usage() {
     println!("  e14   results/BENCH_parallel.json   (thread-sweep speedups, identity-checked)");
     println!("  e17   results/BENCH_transport.json  (loss sweep vs union completeness)");
     println!("  e18   results/BENCH_concurrent.json (writer-sweep throughput + snapshot eps)");
+    println!("  e19   results/BENCH_union.json      (referee merge pipeline + tree reduction)");
+    println!("  e20   results/BENCH_hash.json       (lane vs scalar hash kernels + screen)");
     println!("\nCriterion benches for fine-grained time-domain numbers:");
     println!("  e4    cargo bench -p gt-bench --bench ingest     (per-item cost, throughput)");
     println!("  e10   cargo bench -p gt-bench --bench merge      (referee cost vs parties)");

@@ -30,7 +30,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     for denom in [2u64, 10, 100, 1000] {
         // Selectivity 1/denom via a stable pseudo-random label property.
-        let pred = move |l: u64| gt_hash::mix64(l) % denom == 0;
+        let pred = move |l: u64| gt_hash::mix64(l).is_multiple_of(denom);
         let truth = universe.iter().filter(|&&l| pred(l)).count() as f64;
 
         let mut abs_errs = Vec::new();

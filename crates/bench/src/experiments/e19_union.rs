@@ -274,9 +274,7 @@ fn write_json(quick: bool, per_party: u64, max_t: usize, tree_speedup_at_max_t: 
         })
         .collect::<Vec<_>>()
         .join(",");
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let workers = gt_core::effective_workers();
     let json = format!(
         "{{\"experiment\":\"e19\",\"quick\":{quick},\"per_party\":{per_party},\
          \"max_t\":{max_t},\"workers\":{workers},\

@@ -20,6 +20,7 @@ pub mod e16_window;
 pub mod e17_transport;
 pub mod e18_concurrent;
 pub mod e19_union;
+pub mod e20_hash_kernel;
 
 use crate::table::Table;
 
@@ -135,6 +136,12 @@ pub const REGISTRY: &[Experiment] = &[
         description:
             "referee union pipeline: sequential vs kernel vs tree-reduction merge (BENCH_union.json)",
         run: e19_union::run,
+    },
+    Experiment {
+        id: "e20",
+        description:
+            "hash kernels: lane vs scalar bulk hashing + survival screen (BENCH_hash.json)",
+        run: e20_hash_kernel::run,
     },
 ];
 

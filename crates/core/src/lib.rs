@@ -59,6 +59,7 @@ pub mod sketch;
 pub mod sumdistinct;
 pub mod trial;
 pub mod window;
+pub mod workers;
 
 pub use compact::harmonize;
 pub use concurrent::{ConcurrentSketch, ShardedSketch, SketchSnapshot, SketchWriter, WRITER_BUF};
@@ -77,3 +78,4 @@ pub use sketch::{DistinctSketch, GtSketch, InsertStats};
 pub use sumdistinct::SumDistinctSketch;
 pub use trial::{CoordinatedTrial, Payload, TrialInsert, TrialMergeReport};
 pub use window::SlidingWindowSketch;
+pub use workers::{balanced_chunks, effective_workers};

@@ -9,6 +9,7 @@
 //! experiments can be written once.
 
 use crate::error::{Result, SketchError};
+use crate::workers::{balanced_chunks, effective_workers, run_workers};
 
 /// A summary that supports lossless union with peers built from the same
 /// configuration/seed material.
@@ -55,32 +56,31 @@ pub const MERGE_TREE_CROSSOVER: usize = 16;
 /// operands. DESIGN.md §12 carries the full argument.
 ///
 /// # Errors
-/// [`SketchError::EmptyUnion`] on an empty slice, plus any propagated
-/// merge error.
+/// [`SketchError::EmptyUnion`] on an empty slice,
+/// [`SketchError::WorkerPanicked`] if a reduction worker panics, plus any
+/// propagated merge error.
 pub fn merge_tree<T: Mergeable + Clone + Send + Sync>(summaries: &[T]) -> Result<T> {
+    merge_tree_exact(summaries, effective_workers())
+}
+
+/// [`merge_tree`] with an explicit worker count, bypassing the
+/// [`effective_workers`] clamp — how the tests drive the chunked reduction
+/// on single-core hosts. The crossover still applies.
+pub(crate) fn merge_tree_exact<T: Mergeable + Clone + Send + Sync>(
+    summaries: &[T],
+    workers: usize,
+) -> Result<T> {
     if summaries.is_empty() {
         return Err(SketchError::EmptyUnion);
     }
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
     if summaries.len() < MERGE_TREE_CROSSOVER || workers < 2 {
         return merge_all(summaries);
     }
     // Fan out: fold contiguous chunks in parallel (order within a chunk is
     // the sequential order, so payload reconciliation matches the fold).
-    let chunk_len = summaries.len().div_ceil(workers);
-    let mut layer: Vec<T> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = summaries
-            .chunks(chunk_len)
-            .map(|chunk| scope.spawn(move |_| merge_all(chunk)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("merge worker panicked"))
-            .collect::<Result<Vec<T>>>()
-    })
-    .expect("scope panicked")?;
+    let mut layer: Vec<T> = run_workers(balanced_chunks(summaries, workers), merge_all)?
+        .into_iter()
+        .collect::<Result<Vec<T>>>()?;
     // Reduce: pair *adjacent* accumulators until one remains.
     while layer.len() > 1 {
         let pairs: Vec<(T, Option<T>)> = {
@@ -91,24 +91,14 @@ pub fn merge_tree<T: Mergeable + Clone + Send + Sync>(summaries: &[T]) -> Result
             }
             out
         };
-        layer = crossbeam::scope(|scope| {
-            let handles: Vec<_> = pairs
-                .into_iter()
-                .map(|(mut a, b)| {
-                    scope.spawn(move |_| -> Result<T> {
-                        if let Some(b) = b {
-                            a.merge_from(&b)?;
-                        }
-                        Ok(a)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("merge worker panicked"))
-                .collect::<Result<Vec<T>>>()
-        })
-        .expect("scope panicked")?;
+        layer = run_workers(pairs, |(mut a, b)| -> Result<T> {
+            if let Some(b) = b {
+                a.merge_from(&b)?;
+            }
+            Ok(a)
+        })?
+        .into_iter()
+        .collect::<Result<Vec<T>>>()?;
     }
     Ok(layer.pop().expect("non-empty by construction"))
 }
@@ -211,6 +201,45 @@ mod tests {
             .collect();
         parties.push(DistinctSketch::new(&config, 2)); // uncoordinated seed
         assert!(merge_tree(&parties).is_err());
+    }
+
+    #[test]
+    fn merge_tree_exact_matches_fold_at_forced_worker_counts() {
+        // `merge_tree` clamps to the host's cores; on a one-core runner it
+        // always takes the sequential fold. Forcing worker counts keeps
+        // the fan-out + adjacent-pair reduction exercised everywhere.
+        let config = SketchConfig::new(0.2, 0.2).unwrap();
+        let parties: Vec<DistinctSketch> = (0..MERGE_TREE_CROSSOVER as u64 + 7)
+            .map(|p| {
+                let mut s = DistinctSketch::new(&config, 11);
+                s.extend_labels(labels(p * 300..(p + 2) * 300));
+                s
+            })
+            .collect();
+        let seq = merge_all(&parties).unwrap();
+        for workers in [2, 3, 5, 8] {
+            let tree = merge_tree_exact(&parties, workers).unwrap();
+            assert_eq!(tree.sample_entries(), seq.sample_entries(), "w = {workers}");
+            assert_eq!(tree.items_observed(), seq.items_observed(), "w = {workers}");
+        }
+    }
+
+    #[test]
+    fn poisoned_merge_worker_surfaces_as_error() {
+        // A summary whose merge panics must fail the union with
+        // WorkerPanicked, not abort the process from a referee thread.
+        #[derive(Clone, Debug)]
+        struct Poisoned;
+        impl Mergeable for Poisoned {
+            fn merge_from(&mut self, _other: &Self) -> Result<()> {
+                panic!("poisoned merge");
+            }
+        }
+        let parties = vec![Poisoned; MERGE_TREE_CROSSOVER + 4];
+        assert_eq!(
+            merge_tree_exact(&parties, 4).unwrap_err(),
+            SketchError::WorkerPanicked
+        );
     }
 
     #[test]

@@ -9,21 +9,41 @@
 //! regardless of thread count or scheduling. That property is tested, not
 //! just asserted, and is what makes the speedup free of accuracy cost.
 //!
+//! ## Why the worker count is clamped
+//!
+//! The PR-3 bench recorded `build_parallel` *losing* to sequential (0.75×
+//! at 2 threads, 0.53× at 4). The cause was not the merge or the kernel
+//! but oversubscription: the builder spawned exactly the requested thread
+//! count even when the host had fewer cores, so every "worker" paid
+//! spawn/join, scheduler migration, and per-thread sketch setup while
+//! time-slicing a single core. [`build_parallel`] now treats `threads` as
+//! a *ceiling* and clamps it to [`effective_workers`]; on a one-core host
+//! every width degrades to the sequential build (parity, not slowdown),
+//! and on a multi-core host the sweep measures real parallelism. Three
+//! further costs are amortized: chunks are balanced to within one item
+//! ([`balanced_chunks`] — the old `div_ceil` split left the last worker
+//! nearly idle while adding a full-size chunk to the critical path),
+//! per-worker sketch setup clones one prototype instead of re-deriving
+//! the seed sequence and hash tables per thread, and the worker-local
+//! union goes through [`merge_tree`].
+//!
 //! Workers ingest their chunk through the batch-monomorphic kernel
 //! ([`DistinctSketch::extend_slice`]), not per-item inserts — the scaling
 //! curve should measure parallelism, not a slow inner loop. Experiment
 //! `e14` (`experiments e14`, `results/BENCH_parallel.json`) sweeps the
 //! thread count, re-checks bitwise identity at every width, and records
-//! the speedup curve.
+//! the speedup curve alongside the host's worker count.
 
 use crate::error::Result;
-use crate::merge::{merge_all, merge_tree};
+use crate::merge::merge_tree;
 use crate::params::SketchConfig;
 use crate::sketch::{DistinctSketch, GtSketch};
 use crate::trial::Payload;
+use crate::workers::{balanced_chunks, effective_workers, run_workers};
 
-/// Build a [`DistinctSketch`] over `labels` using `threads` worker threads
-/// (values < 2 fall back to a sequential build).
+/// Build a [`DistinctSketch`] over `labels` using at most `threads` worker
+/// threads, clamped to the host's [`effective_workers`] (values < 2 after
+/// clamping fall back to a sequential build).
 ///
 /// ```
 /// use gt_core::{parallel::build_parallel, SketchConfig};
@@ -36,39 +56,52 @@ use crate::trial::Payload;
 /// ```
 ///
 /// # Errors
-/// Propagates merge errors (impossible for sketches built here, all from
-/// the same config/seed — kept in the signature for uniformity).
+/// [`crate::SketchError::WorkerPanicked`] if a worker thread panics;
+/// merge errors are kept in the signature for uniformity (impossible for
+/// sketches built here, all from the same config/seed).
 pub fn build_parallel(
     config: &SketchConfig,
     master_seed: u64,
     labels: &[u64],
     threads: usize,
 ) -> Result<DistinctSketch> {
-    if threads < 2 || labels.len() < 2 {
+    build_parallel_exact(
+        config,
+        master_seed,
+        labels,
+        threads.min(effective_workers()),
+    )
+}
+
+/// [`build_parallel`] without the worker clamp: spawns exactly `workers`
+/// threads (capped only by the label count). This is how the determinism
+/// tests exercise the chunked path on single-core hosts, and how a bench
+/// can measure the oversubscription penalty on purpose — production
+/// callers want [`build_parallel`].
+///
+/// # Errors
+/// As [`build_parallel`].
+pub fn build_parallel_exact(
+    config: &SketchConfig,
+    master_seed: u64,
+    labels: &[u64],
+    workers: usize,
+) -> Result<DistinctSketch> {
+    if workers < 2 || labels.len() < 2 {
         let mut s = DistinctSketch::new(config, master_seed);
         s.extend_slice(labels);
         return Ok(s);
     }
-    let threads = threads.min(labels.len());
-    let chunk_len = labels.len().div_ceil(threads);
-    let locals: Vec<DistinctSketch> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = labels
-            .chunks(chunk_len)
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    let mut s = DistinctSketch::new(config, master_seed);
-                    s.extend_slice(chunk);
-                    s
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    .expect("scope panicked");
-    merge_all(&locals)
+    // One prototype; workers clone it instead of re-deriving the seed
+    // sequence and hash tables per thread. Cloning an empty sketch is a
+    // few allocations; `new` walks the whole seed schedule.
+    let prototype = DistinctSketch::new(config, master_seed);
+    let locals = run_workers(balanced_chunks(labels, workers), |chunk| {
+        let mut s = prototype.clone();
+        s.extend_slice(chunk);
+        s
+    })?;
+    merge_tree(&locals)
 }
 
 /// Payload-carrying parallel build: sketch `(label, payload)` chunks on
@@ -77,47 +110,49 @@ pub fn build_parallel(
 /// arrivals reconcile as `stored.merge(incoming)` on workers and at the
 /// union alike, so the result is bitwise-identical — payloads included —
 /// to a sequential [`GtSketch::insert_merging_with`] pass over the
-/// concatenated input.
+/// concatenated input. `threads` is a ceiling, clamped to
+/// [`effective_workers`] exactly as in [`build_parallel`].
 ///
 /// # Errors
-/// Propagates merge errors, as [`build_parallel`].
+/// As [`build_parallel`].
 pub fn build_parallel_with<V: Payload + Send + Sync>(
     config: &SketchConfig,
     master_seed: u64,
     items: &[(u64, V)],
     threads: usize,
 ) -> Result<GtSketch<V>> {
-    if threads < 2 || items.len() < 2 {
+    build_parallel_with_exact(config, master_seed, items, threads.min(effective_workers()))
+}
+
+/// [`build_parallel_with`] without the worker clamp (see
+/// [`build_parallel_exact`] for when that is the right tool).
+///
+/// # Errors
+/// As [`build_parallel`].
+pub fn build_parallel_with_exact<V: Payload + Send + Sync>(
+    config: &SketchConfig,
+    master_seed: u64,
+    items: &[(u64, V)],
+    workers: usize,
+) -> Result<GtSketch<V>> {
+    if workers < 2 || items.len() < 2 {
         let mut s = GtSketch::new(config, master_seed);
         s.insert_batch_merging_with(items);
         return Ok(s);
     }
-    let threads = threads.min(items.len());
-    let chunk_len = items.len().div_ceil(threads);
-    let locals: Vec<GtSketch<V>> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_len)
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    let mut s = GtSketch::new(config, master_seed);
-                    s.insert_batch_merging_with(chunk);
-                    s
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    .expect("scope panicked");
-    merge_all(&locals)
+    let prototype = GtSketch::<V>::new(config, master_seed);
+    let locals = run_workers(balanced_chunks(items, workers), |chunk| {
+        let mut s = prototype.clone();
+        s.insert_batch_merging_with(chunk);
+        s
+    })?;
+    merge_tree(&locals)
 }
 
 /// Merge a set of per-party sketches pairwise in parallel (tree reduction).
 ///
 /// Thin wrapper over [`merge_tree`], kept for its by-value signature. For
-/// small `t` the sequential fold in [`merge_all`] is what actually runs
+/// small `t` the sequential fold in [`crate::merge::merge_all`] is what actually runs
 /// (the crossover lives in `merge_tree`); the tree pays off for referees
 /// that aggregate hundreds of parties, where the reduction depth drops
 /// from `t` to `log₂ t`.
@@ -132,6 +167,7 @@ pub fn merge_all_parallel(summaries: Vec<DistinctSketch>) -> Result<DistinctSket
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::merge::merge_all;
 
     fn cfg() -> SketchConfig {
         SketchConfig::new(0.1, 0.1).unwrap()
@@ -157,11 +193,27 @@ mod tests {
     }
 
     #[test]
+    fn exact_worker_counts_are_bitwise_deterministic() {
+        // `build_parallel` clamps to the host's cores, so on a one-core CI
+        // runner the loop above never leaves the sequential path. The
+        // `_exact` variant forces real chunked builds at awkward widths
+        // (3 and 7 do not divide the input evenly) no matter the host.
+        let labels: Vec<u64> = (0..40_000).map(gt_hash::fold61).collect();
+        let seq = build_parallel_exact(&cfg(), 21, &labels, 1).unwrap();
+        for workers in [2, 3, 7] {
+            let par = build_parallel_exact(&cfg(), 21, &labels, workers).unwrap();
+            assert_eq!(sample_sets(&par), sample_sets(&seq), "workers {workers}");
+            assert_eq!(par.estimate_distinct().value, seq.estimate_distinct().value);
+            assert_eq!(par.items_observed(), seq.items_observed());
+        }
+    }
+
+    #[test]
     fn parallel_build_handles_duplicate_heavy_input() {
         let mut labels: Vec<u64> = (0..1_000).map(gt_hash::fold61).collect();
         labels.extend_from_within(..); // 2×
         labels.extend_from_within(..); // 4×
-        let s = build_parallel(&cfg(), 22, &labels, 4).unwrap();
+        let s = build_parallel_exact(&cfg(), 22, &labels, 4).unwrap();
         assert_eq!(s.estimate_distinct().value, 1_000.0);
     }
 
@@ -176,7 +228,7 @@ mod tests {
     #[test]
     fn more_threads_than_labels() {
         let labels: Vec<u64> = (0..5).map(gt_hash::fold61).collect();
-        let s = build_parallel(&cfg(), 24, &labels, 64).unwrap();
+        let s = build_parallel_exact(&cfg(), 24, &labels, 64).unwrap();
         assert_eq!(s.estimate_distinct().value, 5.0);
     }
 
@@ -185,7 +237,9 @@ mod tests {
         // Duplicate labels straddle chunk boundaries with distinct
         // payloads, so worker-local reconciliation AND union-time
         // reconciliation both fire; the result must still equal the
-        // single-observer merging build exactly, payloads included.
+        // single-observer merging build exactly, payloads included. The
+        // `_exact` variant keeps the chunked path exercised on one-core
+        // hosts.
         let items: Vec<(u64, u64)> = (0..30_000u64)
             .map(|i| (gt_hash::fold61(i % 9_000), i))
             .collect();
@@ -199,9 +253,9 @@ mod tests {
                 .map(|t| (t.level(), t.sample_iter().collect()))
                 .collect()
         };
-        for threads in [1, 2, 4, 8] {
-            let par = build_parallel_with(&cfg(), 26, &items, threads).unwrap();
-            assert_eq!(state(&par), state(&seq), "threads {threads}");
+        for workers in [1, 2, 4, 8] {
+            let par = build_parallel_with_exact(&cfg(), 26, &items, workers).unwrap();
+            assert_eq!(state(&par), state(&seq), "workers {workers}");
             assert_eq!(par.items_observed(), seq.items_observed());
         }
     }

@@ -94,7 +94,11 @@ impl SketchConfig {
         let capacity = capacity.max(2);
         // Median needs an odd count to be a sample value; round up to odd.
         let trials = (k_trials * (1.0 / delta).ln()).ceil().max(1.0) as usize;
-        let trials = if trials % 2 == 0 { trials + 1 } else { trials };
+        let trials = if trials.is_multiple_of(2) {
+            trials + 1
+        } else {
+            trials
+        };
         Self::from_shape(epsilon, delta, capacity, trials, HashFamilyKind::Pairwise)
     }
 
@@ -197,7 +201,7 @@ mod tests {
         let cfg = SketchConfig::new(0.1, 0.05).unwrap();
         assert_eq!(cfg.capacity(), (12.0 / 0.01f64).ceil() as usize);
         let r = (6.0 * (1.0 / 0.05f64).ln()).ceil() as usize;
-        let r = if r % 2 == 0 { r + 1 } else { r };
+        let r = if r.is_multiple_of(2) { r + 1 } else { r };
         assert_eq!(cfg.trials(), r);
         assert_eq!(cfg.hash_kind(), gt_hash::HashFamilyKind::Pairwise);
     }

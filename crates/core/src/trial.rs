@@ -18,7 +18,7 @@
 //! `2^{-l}` (pairwise-independently, to be precise), `|S|·2^l` is an
 //! unbiased estimate of the number of distinct labels observed.
 
-use gt_hash::{level_of_hash, survival_mask, HashFamily, LevelHasher, MAX_LEVEL};
+use gt_hash::{level_of_hash, survival_mask, survival_screen, HashFamily, LevelHasher, MAX_LEVEL};
 
 use crate::error::{Result, SketchError};
 use crate::metrics::InsertTally;
@@ -29,6 +29,13 @@ use crate::sampleset::{FixedCapMap, InsertOutcome};
 /// nothing, small enough that the hash buffers live comfortably on the
 /// stack (2 × 2 KiB).
 pub const KERNEL_CHUNK: usize = 256;
+
+/// Hashes screened per [`gt_hash::survival_screen`] bitmap word inside the
+/// batch kernels: one `u64` of survivor bits, so the dominant below-level
+/// case costs a lane-friendly compare loop plus a popcount per 64 items
+/// instead of a branch per item. Survivor indices come back out via
+/// `trailing_zeros`, preserving slice order.
+const SCREEN_WINDOW: usize = 64;
 
 /// Payload attached to each sampled label.
 ///
@@ -308,12 +315,20 @@ impl<V: Payload> CoordinatedTrial<V> {
     ///
     /// Per [`KERNEL_CHUNK`]-sized chunk: one [`HashFamily::hash_slice_into`]
     /// call hashes the whole chunk with the family enum dispatched once,
-    /// then each raw hash is screened against the cached survival mask of
-    /// the current level — the dominant below-level case is a single
-    /// AND+compare with no map probe — and only survivors take the
-    /// sample-insertion slow path (reusing the already-computed hash for
-    /// their level). Outcomes accumulate into `tally`; callers flush it
-    /// once per batch via `SketchMetrics::record_insert_tally`.
+    /// then `SCREEN_WINDOW`-wide windows are screened lane-wise with
+    /// [`gt_hash::survival_screen`] — the dominant below-level case is
+    /// retired a bitmap word at a time, no per-item branch and no map
+    /// probe — and only the surviving bits take the sample-insertion slow
+    /// path (reusing the already-computed hash for their level). Outcomes
+    /// accumulate into `tally`; callers flush it once per batch via
+    /// `SketchMetrics::record_insert_tally`.
+    ///
+    /// Why the screen is exact and not merely approximate: the survival
+    /// mask is monotone in the level, and the level never decreases, so an
+    /// item that fails the window-entry mask fails every later mask too —
+    /// it can be counted `below_level` immediately. Survivors are
+    /// re-checked against the *current* mask in slice order, because an
+    /// insert earlier in the window may have promoted the level.
     ///
     /// Bitwise-identical in sample, level, `items_observed`, and tallied
     /// outcomes to calling [`CoordinatedTrial::insert`] per item in slice
@@ -325,15 +340,26 @@ impl<V: Payload> CoordinatedTrial<V> {
             let hashes = &mut hashes[..chunk.len()];
             self.hasher.hash_slice_into(chunk, hashes);
             self.items_observed += chunk.len() as u64;
-            let mut mask = survival_mask(self.level);
-            for (&label, &h) in chunk.iter().zip(hashes.iter()) {
-                if h & mask != 0 {
-                    tally.below_level += 1;
-                    continue;
+            let mut w = 0;
+            while w < chunk.len() {
+                let wlen = (chunk.len() - w).min(SCREEN_WINDOW);
+                let mut mask = survival_mask(self.level);
+                let mut bits = survival_screen(&hashes[w..w + wlen], mask);
+                tally.below_level += u64::from(wlen as u32 - bits.count_ones());
+                while bits != 0 {
+                    let i = w + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let h = hashes[i];
+                    // Re-check: an insert earlier in this window may have
+                    // promoted the level past this hash.
+                    if h & mask != 0 {
+                        tally.below_level += 1;
+                        continue;
+                    }
+                    tally.record(self.insert_qualified(chunk[i], level_of_hash(h), V::default()));
+                    mask = survival_mask(self.level);
                 }
-                tally.record(self.insert_qualified(label, level_of_hash(h), V::default()));
-                // An insert may have promoted the level; refresh the mask.
-                mask = survival_mask(self.level);
+                w += wlen;
             }
         }
         tally.promotions += u64::from(self.level - level_before);
@@ -362,19 +388,30 @@ impl<V: Payload> CoordinatedTrial<V> {
             let hashes = &mut hashes[..chunk.len()];
             self.hasher.hash_slice_into(labels, hashes);
             self.items_observed += chunk.len() as u64;
-            let mut mask = survival_mask(self.level);
-            for (&(label, payload), &h) in chunk.iter().zip(hashes.iter()) {
-                if h & mask != 0 {
-                    tally.below_level += 1;
-                    continue;
+            let mut w = 0;
+            while w < chunk.len() {
+                let wlen = (chunk.len() - w).min(SCREEN_WINDOW);
+                let mut mask = survival_mask(self.level);
+                let mut bits = survival_screen(&hashes[w..w + wlen], mask);
+                tally.below_level += u64::from(wlen as u32 - bits.count_ones());
+                while bits != 0 {
+                    let i = w + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let h = hashes[i];
+                    if h & mask != 0 {
+                        tally.below_level += 1;
+                        continue;
+                    }
+                    let (label, payload) = chunk[i];
+                    let outcome = self.insert_qualified(label, level_of_hash(h), payload);
+                    tally.record(outcome);
+                    if MERGING && outcome == TrialInsert::Duplicate {
+                        self.sample.update(label, |v| *v = v.merge(payload));
+                        tally.local_reconciliations += 1;
+                    }
+                    mask = survival_mask(self.level);
                 }
-                let outcome = self.insert_qualified(label, level_of_hash(h), payload);
-                tally.record(outcome);
-                if MERGING && outcome == TrialInsert::Duplicate {
-                    self.sample.update(label, |v| *v = v.merge(payload));
-                    tally.local_reconciliations += 1;
-                }
-                mask = survival_mask(self.level);
+                w += wlen;
             }
         }
         tally.promotions += u64::from(self.level - level_before);
@@ -512,15 +549,17 @@ impl<V: Payload> CoordinatedTrial<V> {
     /// Bulk-kernel union: after aligning to the max level, the incoming
     /// sample is gathered into [`KERNEL_CHUNK`]-sized stack arrays and
     /// hashed with one [`HashFamily::hash_slice_into`] call per chunk (the
-    /// family enum dispatched once, not per entry); each raw hash is then
-    /// screened against the cached survival mask of the current level —
-    /// the dominant below-level case is a single AND+compare with no map
-    /// probe and no per-entry `level()` re-hash — and only survivors take
-    /// the insertion path, reusing the already-computed hash for their
-    /// level. The mask is refreshed after every insertion because an
-    /// overflow can promote the level mid-merge; that interleaving (rather
-    /// than a single up-front filter) is what keeps the surviving set, the
-    /// report classification, and the final state bitwise-identical to
+    /// family enum dispatched once, not per entry); the raw hashes are
+    /// then screened a `SCREEN_WINDOW`-wide bitmap word at a time with
+    /// [`gt_hash::survival_screen`] — the dominant below-level case is
+    /// retired lane-wise with no per-entry branch, map probe, or
+    /// `level()` re-hash — and only surviving bits take the insertion
+    /// path, reusing the already-computed hash for their level. Survivors
+    /// are re-checked against the current mask in order because an
+    /// overflow can promote the level mid-window; that re-check (plus the
+    /// monotonicity of the mask in the level) is what keeps the surviving
+    /// set, the report classification, and the final state
+    /// bitwise-identical to
     /// [`CoordinatedTrial::merge_from_reference`] (property-tested). No
     /// reserve-ahead growth is needed at this layer: the open-addressed
     /// sample table is pre-sized to `capacity` at construction, so bulk
@@ -558,36 +597,50 @@ impl<V: Payload> CoordinatedTrial<V> {
                 break;
             }
             self.hasher.hash_slice_into(&labels[..n], &mut hashes[..n]);
-            let mut mask = survival_mask(self.level);
-            for i in 0..n {
-                let (label, payload, h) = (labels[i], payloads[i], hashes[i]);
-                report.entries_scanned += 1;
-                if h & mask != 0 {
-                    report.below_level += 1;
-                    continue; // other ran at a lower level; no longer qualifies
-                }
-                loop {
-                    match self.sample.try_insert(label, payload) {
-                        InsertOutcome::Inserted => {
-                            report.absorbed += 1;
-                            break;
-                        }
-                        InsertOutcome::AlreadyPresent => {
-                            self.sample.update(label, |v| *v = v.merge(payload));
-                            report.reconciled += 1;
-                            break;
-                        }
-                        InsertOutcome::Full => {
-                            self.promote();
-                            if level_of_hash(h) < self.level {
-                                report.below_level += 1;
+            report.entries_scanned += n;
+            let mut w = 0;
+            while w < n {
+                let wlen = (n - w).min(SCREEN_WINDOW);
+                let mut mask = survival_mask(self.level);
+                let mut bits = survival_screen(&hashes[w..w + wlen], mask);
+                // Entries screened out here ran at `other`'s lower level
+                // and no longer qualify; the mask is monotone in the
+                // level, so counting them out on the window-entry mask is
+                // exact.
+                report.below_level += wlen - bits.count_ones() as usize;
+                while bits != 0 {
+                    let i = w + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let (label, payload, h) = (labels[i], payloads[i], hashes[i]);
+                    // Re-check: an absorption earlier in this window may
+                    // have promoted the level past this hash.
+                    if h & mask != 0 {
+                        report.below_level += 1;
+                        continue;
+                    }
+                    loop {
+                        match self.sample.try_insert(label, payload) {
+                            InsertOutcome::Inserted => {
+                                report.absorbed += 1;
                                 break;
+                            }
+                            InsertOutcome::AlreadyPresent => {
+                                self.sample.update(label, |v| *v = v.merge(payload));
+                                report.reconciled += 1;
+                                break;
+                            }
+                            InsertOutcome::Full => {
+                                self.promote();
+                                if level_of_hash(h) < self.level {
+                                    report.below_level += 1;
+                                    break;
+                                }
                             }
                         }
                     }
+                    mask = survival_mask(self.level);
                 }
-                // An insert may have promoted the level; refresh the mask.
-                mask = survival_mask(self.level);
+                w += wlen;
             }
             if n < KERNEL_CHUNK {
                 break;

@@ -1,0 +1,148 @@
+//! Lane-oriented (SIMD-shaped) arithmetic kernels behind the bulk hash
+//! paths.
+//!
+//! Every `eval_into` in this crate processes labels in fixed-width blocks
+//! of [`LANES`] independent elements written as plain array arithmetic —
+//! no intrinsics, no `unsafe` (the crate-level `forbid(unsafe_code)`
+//! stands). The shape is chosen so LLVM's auto-vectorizer can lower each
+//! block to vector instructions where the target ISA has them, and so
+//! that even where it cannot (the 61-bit field multiply needs the full
+//! 128-bit product, which x86 SIMD lacks below AVX-512), the block still
+//! wins by breaking loop-carried dependencies, removing data-dependent
+//! branches from the modular reduction, and eliding per-element bounds
+//! checks.
+//!
+//! * **Portable lanes** — the default [`LANES`] = 4 keeps the working set
+//!   of a block inside the register file on every 64-bit target.
+//! * **AVX2 fast path** — compiled with `target_feature = "avx2"` (e.g.
+//!   `RUSTFLAGS="-C target-cpu=native"` or `-C target-feature=+avx2`),
+//!   [`LANES`] widens to 8 so a block fills two 256-bit registers; the
+//!   multiply–shift kernel then lowers to genuine vector code
+//!   (`vpmuludq`/`vpsllvq` sequences), and the field kernels gain deeper
+//!   independent pipelines. Tabulation stays per-element by measurement:
+//!   its data-dependent table gathers cannot vectorize below AVX-512, and
+//!   lane blocks only add register pressure (see `Tabulation::eval_into`).
+//! * **Scalar fallback, always compiled** — every family keeps its
+//!   original per-element loop as `eval_into_scalar`, reachable through
+//!   [`crate::HashFamily::hash_slice_into_scalar`]. It is the equivalence
+//!   oracle: differential tests assert the lane path is bitwise-identical
+//!   on every family, and it remains the reference implementation should
+//!   a new target miscompile the lane shape.
+//!
+//! All kernels produce the **canonical** representative in `[0, p)`, so
+//! lane and scalar paths agree bit-for-bit — proven by the proptests in
+//! `tests/lane_equivalence.rs`, not just asserted.
+
+use crate::field61::P61;
+
+/// Number of independent elements processed per block by the lane kernels.
+///
+/// 8 with AVX2 enabled at compile time (two 256-bit registers of `u64`),
+/// 4 otherwise (fits SSE2's two 128-bit registers and every aarch64 NEON
+/// configuration). The value is exported so benches can report which path
+/// was compiled.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+pub const LANES: usize = 8;
+/// Number of independent elements processed per block by the lane kernels.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+pub const LANES: usize = 4;
+
+/// Branch-free `(a·x + c) mod p` over the full 122-bit product.
+///
+/// Bitwise-identical to [`crate::field61::mul_add61`] (both return the
+/// canonical representative), but with the final conditional subtracts
+/// expressed as masked arithmetic so a lane of these has no data-dependent
+/// branches for the vectorizer (or the branch predictor) to stumble on.
+#[inline(always)]
+pub fn mul_add61_branchless(a: u64, x: u64, c: u64) -> u64 {
+    debug_assert!(a < P61 && x < P61 && c < P61);
+    let wide = (a as u128) * (x as u128) + (c as u128);
+    // wide < p² ≤ 2^122: split at bit 61 (2^61 ≡ 1 mod p) and fold twice.
+    let lo = (wide as u64) & P61; // ≤ p
+    let hi = (wide >> 61) as u64; // < p (wide < p·2^61)
+    let s = lo + hi; // < 2^62, no overflow
+    let t = (s & P61) + (s >> 61); // ≡ s (mod p), ≤ p + 1
+    t - (P61 & ((t >= P61) as u64).wrapping_neg())
+}
+
+/// One affine evaluation `(a·xs[i] + b) mod p` across a block of lanes
+/// with a shared multiplier and offset — the [`crate::Pairwise61`] bulk
+/// step.
+#[inline(always)]
+pub fn affine61_lanes(a: u64, xs: &[u64; LANES], b: u64) -> [u64; LANES] {
+    let mut out = [0u64; LANES];
+    for i in 0..LANES {
+        out[i] = mul_add61_branchless(a, xs[i], b);
+    }
+    out
+}
+
+/// One Horner step `(acc[i]·xs[i] + c) mod p` across a block of lanes —
+/// the [`crate::Polynomial61`] bulk step (per-lane accumulators, shared
+/// coefficient).
+#[inline(always)]
+pub fn horner61_lanes(acc: &[u64; LANES], xs: &[u64; LANES], c: u64) -> [u64; LANES] {
+    let mut out = [0u64; LANES];
+    for i in 0..LANES {
+        out[i] = mul_add61_branchless(acc[i], xs[i], c);
+    }
+    out
+}
+
+/// One multiply–shift evaluation `(a·xs[i] mod 2^64) >> shift` across a
+/// block of lanes — the [`crate::MultiplyShift`] bulk step. Pure wrapping
+/// integer ops: this is the kernel that vectorizes outright.
+#[inline(always)]
+pub fn mul_shift_lanes(a: u64, xs: &[u64; LANES], shift: u32) -> [u64; LANES] {
+    let mut out = [0u64; LANES];
+    for i in 0..LANES {
+        out[i] = a.wrapping_mul(xs[i]) >> shift;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field61::mul_add61;
+
+    #[test]
+    fn lanes_is_a_supported_width() {
+        const { assert!(LANES == 4 || LANES == 8) }
+    }
+
+    #[test]
+    fn branchless_mul_add_matches_reference_on_boundaries() {
+        let vals = [0u64, 1, 2, P61 / 2, P61 - 2, P61 - 1, 1 << 60, 12345];
+        for &a in &vals {
+            for &x in &vals {
+                for &c in &vals {
+                    assert_eq!(
+                        mul_add61_branchless(a, x, c),
+                        mul_add61(a, x, c),
+                        "a={a} x={x} c={c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_lanes_match_scalar() {
+        let xs: [u64; LANES] = std::array::from_fn(|i| (P61 - 1) - i as u64);
+        let out = affine61_lanes(3, &xs, 7);
+        for i in 0..LANES {
+            assert_eq!(out[i], mul_add61(3, xs[i], 7));
+        }
+    }
+
+    #[test]
+    fn mul_shift_lanes_match_scalar() {
+        let a = 0x9E37_79B9_7F4A_7C15u64 | 1;
+        let xs: [u64; LANES] = std::array::from_fn(|i| u64::MAX - i as u64);
+        let out = mul_shift_lanes(a, &xs, 3);
+        for i in 0..LANES {
+            assert_eq!(out[i], a.wrapping_mul(xs[i]) >> 3);
+        }
+    }
+}

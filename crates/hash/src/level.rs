@@ -48,6 +48,58 @@ pub fn survival_mask(level: u8) -> u64 {
     (1u64 << level) - 1
 }
 
+/// Survivor bitmap of up to 64 raw hashes against a survival mask: bit
+/// `i` of the result is set iff `hashes[i] & mask == 0`, i.e. iff
+/// `hashes[i]` qualifies for the level that produced `mask` (see
+/// [`survival_mask`]).
+///
+/// This is the lane-wide below-level screen of the batch kernels: one
+/// branch-free compare per hash builds the bitmap (a shape the
+/// auto-vectorizer lowers to vector compares where available), the
+/// non-survivor count falls out of one `count_ones`, and only set bits —
+/// vanishingly few once a sketch's level has grown — take the per-item
+/// insertion path. Callers that may promote the level mid-window re-check
+/// each survivor against the *current* mask before inserting; because
+/// `survival_mask` grows monotonically with the level, a hash screened
+/// out here can never qualify later, so the early rejection is exact.
+///
+/// # Panics
+/// Debug-asserts `hashes.len() <= 64` (one bitmap word).
+#[inline]
+pub fn survival_screen(hashes: &[u64], mask: u64) -> u64 {
+    debug_assert!(hashes.len() <= 64, "screen window exceeds one bitmap word");
+    // The batch kernels feed full 64-hash windows except at a chunk's very
+    // end, so the full window gets a dedicated two-phase shape: phase 1
+    // stores 64 independent 0/1 bytes (statically sized, so the
+    // auto-vectorizer lowers it to vector compares and the flag buffer's
+    // zero-init is elided as fully overwritten); phase 2 packs each
+    // 8-byte group into 8 bits with the multiply-movemask trick — for 0/1
+    // bytes every partial product lands on a distinct bit position, so
+    // the top byte of the wrapping product is exactly
+    // `b₀ | b₁<<1 | … | b₇<<7`, carry-free. The obvious single loop
+    // (`bits |= flag << i`) carries a serial dependency on `bits` that
+    // defeats both vectorization and instruction-level parallelism
+    // (measured ~2.5× slower); it remains the tail path, where windows
+    // are short.
+    if let Ok(full) = <&[u64; 64]>::try_from(hashes) {
+        let mut flags = [0u8; 64];
+        for i in 0..64 {
+            flags[i] = u8::from(full[i] & mask == 0);
+        }
+        let mut bits = 0u64;
+        for j in 0..8 {
+            let w = u64::from_le_bytes(flags[j * 8..][..8].try_into().expect("group of 8"));
+            bits |= (w.wrapping_mul(0x0102_0408_1020_4080) >> 56) << (8 * j);
+        }
+        return bits;
+    }
+    let mut bits = 0u64;
+    for (i, &h) in hashes.iter().enumerate() {
+        bits |= u64::from(h & mask == 0) << i;
+    }
+    bits
+}
+
 /// Anything that can hash a label and assign it a sampling level.
 pub trait LevelHasher {
     /// Hash a label from `[0, 2^61 − 1)` into `[0, 2^61)`.
@@ -152,6 +204,31 @@ impl HashFamily {
             HashFamily::MultiplyShift(h) => h.eval_into(labels, out),
             HashFamily::Tabulation(h) => h.eval_into(labels, out),
             HashFamily::Sabotaged(h) => h.eval_into(labels, out),
+        }
+    }
+
+    /// Scalar counterpart of [`HashFamily::hash_slice_into`]: the same
+    /// once-per-call enum dispatch, but each arm runs the family's
+    /// original per-element loop instead of the lane kernel. Always
+    /// compiled — it is the equivalence oracle the differential tests
+    /// compare the lane path against (bitwise, every family), the `scalar`
+    /// contender in the kernel microbench (experiment `e20`), and the
+    /// reference implementation should a target miscompile the lane shape.
+    ///
+    /// # Panics
+    /// Panics if `labels` and `out` differ in length.
+    pub fn hash_slice_into_scalar(&self, labels: &[u64], out: &mut [u64]) {
+        assert_eq!(
+            labels.len(),
+            out.len(),
+            "hash_slice_into_scalar needs equal-length label and output slices"
+        );
+        match self {
+            HashFamily::Pairwise(h) => h.eval_into_scalar(labels, out),
+            HashFamily::Polynomial(h) => h.eval_into_scalar(labels, out),
+            HashFamily::MultiplyShift(h) => h.eval_into_scalar(labels, out),
+            HashFamily::Tabulation(h) => h.eval_into_scalar(labels, out),
+            HashFamily::Sabotaged(h) => h.eval_into_scalar(labels, out),
         }
     }
 }

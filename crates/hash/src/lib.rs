@@ -14,6 +14,10 @@
 //!   (not pairwise uniform) but ~3× faster; included for the E11 ablation.
 //! * [`tabulation`] — simple tabulation hashing (3-independent, and known to
 //!   behave like full randomness for many sketching applications).
+//! * [`lanes`] — lane-oriented (SIMD-shaped) kernels behind every bulk
+//!   `eval_into` path: portable fixed-width blocks with a compile-time
+//!   AVX2 widening, no `unsafe`, scalar fallbacks always compiled and
+//!   proven bitwise-identical.
 //! * [`level`] — the geometric level map `lvl(x) = trailing_zeros(h(x))`
 //!   that drives coordinated sampling, behind the [`LevelHasher`] trait and
 //!   the devirtualized [`HashFamily`] enum used on hot paths.
@@ -31,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod field61;
+pub mod lanes;
 pub mod level;
 pub mod mix;
 pub mod multiply_shift;
@@ -41,7 +46,11 @@ pub mod seeds;
 pub mod tabulation;
 
 pub use field61::{Field61, P61};
-pub use level::{level_of_hash, survival_mask, HashFamily, HashFamilyKind, LevelHasher, MAX_LEVEL};
+pub use lanes::LANES;
+pub use level::{
+    level_of_hash, survival_mask, survival_screen, HashFamily, HashFamilyKind, LevelHasher,
+    MAX_LEVEL,
+};
 pub use mix::{fold61, mix64};
 pub use multiply_shift::MultiplyShift;
 pub use pairwise::{Pairwise61, Polynomial61};

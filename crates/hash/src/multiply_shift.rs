@@ -9,6 +9,7 @@
 //! measurable bias on adversarially structured label sets, fine on random
 //! ones).
 
+use crate::lanes::{mul_shift_lanes, LANES};
 use crate::seeds::SeedRng;
 
 /// Output width: all families in this crate hash into `[0, 2^61)` so that
@@ -47,7 +48,23 @@ impl MultiplyShift {
 
     /// Evaluate the hash over a slice, writing `h(labels[i])` to `out[i]`
     /// (the bulk primitive behind `HashFamily::hash_slice_into`).
+    ///
+    /// Pure wrapping multiply + shift over [`LANES`]-wide blocks
+    /// ([`mul_shift_lanes`]) — the kernel that vectorizes outright
+    /// (AVX2 lowers it to `vpmuludq`/`vpsllq` sequences).
+    /// Bitwise-identical to [`MultiplyShift::eval_into_scalar`].
     pub fn eval_into(&self, labels: &[u64], out: &mut [u64]) {
+        let (blocks, tail) = labels.as_chunks::<LANES>();
+        let (oblocks, otail) = out.as_chunks_mut::<LANES>();
+        for (ob, xs) in oblocks.iter_mut().zip(blocks) {
+            *ob = mul_shift_lanes(self.a, xs, 64 - OUT_BITS);
+        }
+        self.eval_into_scalar(tail, otail);
+    }
+
+    /// The per-element bulk loop the lane kernel replaced — always
+    /// compiled, the equivalence oracle for [`MultiplyShift::eval_into`].
+    pub fn eval_into_scalar(&self, labels: &[u64], out: &mut [u64]) {
         let a = self.a;
         for (o, &x) in out.iter_mut().zip(labels) {
             *o = a.wrapping_mul(x) >> (64 - OUT_BITS);

@@ -15,6 +15,7 @@
 //! paper's analysis).
 
 use crate::field61::{mul_add61, reduce64, P61};
+use crate::lanes::{affine61_lanes, horner61_lanes, LANES};
 use crate::seeds::SeedRng;
 
 /// The strongly 2-universal affine family `x ↦ (a·x + b) mod p`.
@@ -73,10 +74,26 @@ impl Pairwise61 {
 
     /// Evaluate the hash over a slice, writing `h(labels[i])` to `out[i]`.
     ///
-    /// The bulk primitive behind `HashFamily::hash_slice_into`: a
-    /// monomorphic tight loop over one concrete function, with the field
-    /// coefficients held in registers for the whole slice.
+    /// The bulk primitive behind `HashFamily::hash_slice_into`: labels are
+    /// processed in [`LANES`]-wide blocks through the branch-free lane
+    /// kernel ([`affine61_lanes`]), with the field coefficients held in
+    /// registers for the whole slice and no data-dependent branches in
+    /// the modular reduction. Bitwise-identical to
+    /// [`Pairwise61::eval_into_scalar`] (property-tested).
     pub fn eval_into(&self, labels: &[u64], out: &mut [u64]) {
+        let (blocks, tail) = labels.as_chunks::<LANES>();
+        let (oblocks, otail) = out.as_chunks_mut::<LANES>();
+        for (ob, xs) in oblocks.iter_mut().zip(blocks) {
+            *ob = affine61_lanes(self.a, xs, self.b);
+        }
+        self.eval_into_scalar(tail, otail);
+    }
+
+    /// The per-element bulk loop the lane kernel replaced — always
+    /// compiled, reachable through
+    /// [`crate::HashFamily::hash_slice_into_scalar`], and the equivalence
+    /// oracle for [`Pairwise61::eval_into`].
+    pub fn eval_into_scalar(&self, labels: &[u64], out: &mut [u64]) {
         let h = *self;
         for (o, &x) in out.iter_mut().zip(labels) {
             *o = h.eval(x);
@@ -120,7 +137,28 @@ impl Polynomial61 {
 
     /// Evaluate the polynomial over a slice, writing `h(labels[i])` to
     /// `out[i]` (the bulk primitive behind `HashFamily::hash_slice_into`).
+    ///
+    /// Runs Horner's rule over [`LANES`]-wide blocks: one lane of
+    /// independent accumulators advances through the shared coefficient
+    /// sequence ([`horner61_lanes`]), so the `k` dependent multiplies per
+    /// label overlap across lanes instead of serializing.
+    /// Bitwise-identical to [`Polynomial61::eval_into_scalar`].
     pub fn eval_into(&self, labels: &[u64], out: &mut [u64]) {
+        let (blocks, tail) = labels.as_chunks::<LANES>();
+        let (oblocks, otail) = out.as_chunks_mut::<LANES>();
+        for (ob, xs) in oblocks.iter_mut().zip(blocks) {
+            let mut acc = [0u64; LANES];
+            for &c in self.coeffs.iter().rev() {
+                acc = horner61_lanes(&acc, xs, c);
+            }
+            *ob = acc;
+        }
+        self.eval_into_scalar(tail, otail);
+    }
+
+    /// The per-element bulk loop the lane kernel replaced — always
+    /// compiled, the equivalence oracle for [`Polynomial61::eval_into`].
+    pub fn eval_into_scalar(&self, labels: &[u64], out: &mut [u64]) {
         for (o, &x) in out.iter_mut().zip(labels) {
             *o = self.eval(x);
         }

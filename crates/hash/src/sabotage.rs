@@ -73,7 +73,32 @@ impl Sabotaged {
     /// Evaluate the hash over a slice, writing `h(labels[i])` to `out[i]`
     /// (the bulk primitive behind `HashFamily::hash_slice_into`; the
     /// saboteur variant is dispatched once per slice, not once per item).
+    ///
+    /// `ShiftedLevels` and `LowEntropy` ride the underlying affine lane
+    /// kernel (`Pairwise61::eval_into`); `Identity` stays per-element —
+    /// it exists to be broken, not fast. Bitwise-identical to
+    /// [`Sabotaged::eval_into_scalar`] in every variant.
     pub fn eval_into(&self, labels: &[u64], out: &mut [u64]) {
+        match self {
+            Sabotaged::ShiftedLevels { inner, k } => {
+                inner.eval_into(labels, out);
+                let k = *k;
+                for o in out.iter_mut() {
+                    *o = (*o << k) & ((1u64 << 61) - 1);
+                }
+            }
+            Sabotaged::LowEntropy { inner } => inner.eval_into(labels, out),
+            Sabotaged::Identity => {
+                for (o, &x) in out.iter_mut().zip(labels) {
+                    *o = x % P61;
+                }
+            }
+        }
+    }
+
+    /// The per-element bulk loop the lane path replaced — always compiled,
+    /// the equivalence oracle for [`Sabotaged::eval_into`].
+    pub fn eval_into_scalar(&self, labels: &[u64], out: &mut [u64]) {
         match self {
             Sabotaged::ShiftedLevels { inner, k } => {
                 let k = *k;
@@ -81,7 +106,7 @@ impl Sabotaged {
                     *o = (inner.eval(x) << k) & ((1u64 << 61) - 1);
                 }
             }
-            Sabotaged::LowEntropy { inner } => inner.eval_into(labels, out),
+            Sabotaged::LowEntropy { inner } => inner.eval_into_scalar(labels, out),
             Sabotaged::Identity => {
                 for (o, &x) in out.iter_mut().zip(labels) {
                     *o = x % P61;

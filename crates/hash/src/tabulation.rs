@@ -56,7 +56,23 @@ impl Tabulation {
     /// Evaluate the hash over a slice, writing `h(labels[i])` to `out[i]`
     /// (the bulk primitive behind `HashFamily::hash_slice_into`; keeps the
     /// lookup tables hot in cache across the whole slice).
+    ///
+    /// Deliberately **not** lane-blocked: tabulation is bound by its table
+    /// *loads*, which are data-dependent gathers no pre-AVX-512 target can
+    /// vectorize. A `LANES`-wide block form was measured ~25% *slower*
+    /// than this loop (E20) — the block accumulators add register
+    /// pressure while the loads stay serial — so the bulk path is the
+    /// per-element loop, and out-of-order execution across neighbouring
+    /// items supplies the memory-level parallelism. Kept as a distinct
+    /// entry point from [`Tabulation::eval_into_scalar`] so the
+    /// family-wide equivalence proof covers it uniformly.
     pub fn eval_into(&self, labels: &[u64], out: &mut [u64]) {
+        self.eval_into_scalar(labels, out);
+    }
+
+    /// The per-element bulk loop the lane kernel replaced — always
+    /// compiled, the equivalence oracle for [`Tabulation::eval_into`].
+    pub fn eval_into_scalar(&self, labels: &[u64], out: &mut [u64]) {
         for (o, &x) in out.iter_mut().zip(labels) {
             *o = self.eval(x);
         }

@@ -1,0 +1,134 @@
+//! Differential proof that the lane (SIMD-shaped) bulk hash kernels are
+//! bitwise-identical to the scalar paths, for **every** hash family —
+//! sound and sabotaged alike.
+//!
+//! The sketch's coordination contract hangs on `(kind, seed, label) →
+//! hash` being one pure function across parties, machines, and code
+//! paths. A lane kernel that differed from the scalar path in even one
+//! bit would silently break union-compatibility between a party built
+//! with AVX2 and one without, so the equivalence is proven here three
+//! ways per family: lane vs scalar bulk, bulk vs per-item `eval`, and at
+//! the field-boundary labels where a branchless reduction is most likely
+//! to diverge from a branchy one.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gt_hash::{FamilySeed, HashFamilyKind, LevelHasher, P61};
+
+/// Every constructible family, including the deliberately broken ones —
+/// the ablation hashes ride the same bulk kernels, so they get the same
+/// proof.
+const ALL_KINDS: [HashFamilyKind; 8] = [
+    HashFamilyKind::Pairwise,
+    HashFamilyKind::KWise(2),
+    HashFamilyKind::KWise(5),
+    HashFamilyKind::MultiplyShift,
+    HashFamilyKind::Tabulation,
+    HashFamilyKind::SabotagedShift(3),
+    HashFamilyKind::SabotagedLowEntropy,
+    HashFamilyKind::SabotagedIdentity,
+];
+
+/// Field-boundary labels: extremes of `[0, p)` plus values straddling the
+/// lane kernel's 61-bit fold points. Lengths around `LANES` are exercised
+/// by the proptest's variable-length vectors.
+fn boundary_labels() -> Vec<u64> {
+    let mut v = vec![
+        0u64,
+        1,
+        2,
+        7,
+        (1 << 61) - 2, // P61 - 1, the largest legal label
+        P61 - 2,
+        P61 / 2,
+        1 << 60,
+        (1 << 60) - 1,
+        0xDEAD_BEEF_0000,
+    ];
+    // Repeat past a lane boundary so block and tail paths both run.
+    let again = v.clone();
+    v.extend(again);
+    v
+}
+
+fn assert_all_paths_agree(kind: HashFamilyKind, seed: u64, labels: &[u64]) {
+    let h = kind.build(FamilySeed(seed));
+    let mut lane = vec![0u64; labels.len()];
+    let mut scalar = vec![0u64; labels.len()];
+    h.hash_slice_into(labels, &mut lane);
+    h.hash_slice_into_scalar(labels, &mut scalar);
+    assert_eq!(lane, scalar, "{kind:?} seed {seed}: lane vs scalar bulk");
+    for (i, &x) in labels.iter().enumerate() {
+        assert_eq!(
+            lane[i],
+            h.hash_label(x),
+            "{kind:?} seed {seed}: bulk vs per-item at index {i} (label {x})"
+        );
+    }
+}
+
+#[test]
+fn boundary_labels_hash_identically_on_every_path() {
+    let labels = boundary_labels();
+    for kind in ALL_KINDS {
+        for seed in [0u64, 1, 9, 0xFEED] {
+            assert_all_paths_agree(kind, seed, &labels);
+        }
+    }
+}
+
+#[test]
+fn every_slice_length_around_the_lane_width_agrees() {
+    // Tail handling: lengths 0..=3·LANES cover empty, sub-block, exact
+    // multiples, and every possible tail remainder.
+    let base: Vec<u64> = (0..(3 * gt_hash::LANES) as u64)
+        .map(gt_hash::fold61)
+        .collect();
+    for kind in ALL_KINDS {
+        for len in 0..=base.len() {
+            assert_all_paths_agree(kind, 7, &base[..len]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lane_kernels_match_scalar_for_every_family(
+        seed in any::<u64>(),
+        raw in vec(any::<u64>(), 0..700),
+    ) {
+        // Labels must lie in [0, p); fold64 keeps arbitrary u64 input legal.
+        let labels: Vec<u64> = raw.iter().map(|&x| gt_hash::fold61(x)).collect();
+        for kind in ALL_KINDS {
+            assert_all_paths_agree(kind, seed, &labels);
+        }
+    }
+
+    #[test]
+    fn survival_screen_matches_per_item_mask_compare(
+        raw in vec(any::<u64>(), 1..64),
+        level in 0u8..=gt_hash::MAX_LEVEL,
+    ) {
+        // Mix real hash outputs with the adversarial boundary hashes from
+        // the level tests (0, p-1, exact powers of two).
+        let mut hashes: Vec<u64> = raw;
+        hashes.truncate(54);
+        hashes.extend([0u64, 1, 2, 8, 96, 1 << 45, 1 << 60, (1 << 61) - 2, 0xDEAD_BEEF_0000]);
+        let mask = gt_hash::survival_mask(level);
+        let bits = gt_hash::survival_screen(&hashes, mask);
+        for (i, &h) in hashes.iter().enumerate() {
+            prop_assert_eq!(
+                bits >> i & 1 == 1,
+                gt_hash::level_of_hash(h) >= level,
+                "hash {:#x} at level {}", h, level
+            );
+        }
+        prop_assert_eq!(
+            u64::from(bits.count_ones()),
+            hashes.iter().filter(|&&h| h & mask == 0).count() as u64
+        );
+    }
+}

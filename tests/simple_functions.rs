@@ -54,7 +54,7 @@ fn predicate_counts_match_oracle() {
     let oracle = StreamOracle::of_streams(set.streams.iter().map(|s| s.as_slice()));
 
     for modulus in [2u64, 5, 16] {
-        let pred = move |l: u64| l % modulus == 0;
+        let pred = move |l: u64| l.is_multiple_of(modulus);
         let est = union.estimate_distinct_where(pred).value;
         let truth = oracle.distinct_where(pred) as f64;
         let total = oracle.distinct() as f64;
@@ -126,7 +126,7 @@ fn distinct_sample_supports_posthoc_estimators() {
             s += x % 10;
             x /= 10;
         }
-        s % 2 == 0
+        s.is_multiple_of(2)
     };
 
     let sample = union.distinct_sample(0);
@@ -157,7 +157,7 @@ fn weighted_predicate_composition() {
     let union = merge_all(&sketches).unwrap();
     let oracle = StreamOracle::of_streams(set.streams.iter().map(|s| s.as_slice()));
 
-    let pred = |l: u64| l % 3 == 0;
+    let pred = |l: u64| l.is_multiple_of(3);
     let est = union.inner().estimate_weighted_where(pred, |_, v| v as f64);
     let truth: u64 = oracle.sum_distinct(|l| if pred(l) { value_of(l) } else { 0 });
     let rel = (est - truth as f64).abs() / truth as f64;
