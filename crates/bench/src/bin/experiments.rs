@@ -70,6 +70,12 @@ fn main() {
     let report = gt_bench::stats::demo_scenario();
     print!("{}", gt_bench::stats::render_stats(&report));
     println!("  json: {}", gt_bench::stats::render_stats_json(&report));
+    let store_snap = gt_bench::stats::demo_store();
+    print!("{}", gt_bench::stats::render_store_stats(&store_snap));
+    println!(
+        "  json: {}",
+        gt_bench::stats::render_store_stats_json(&store_snap)
+    );
 }
 
 fn print_usage() {
@@ -85,6 +91,7 @@ fn print_usage() {
     println!("  e18   results/BENCH_concurrent.json (writer-sweep throughput + snapshot eps)");
     println!("  e19   results/BENCH_union.json      (referee merge pipeline + tree reduction)");
     println!("  e20   results/BENCH_hash.json       (lane vs scalar hash kernels + screen)");
+    println!("  e21   results/BENCH_store.json      (keyed store: Zipf ingest, budget, spill)");
     println!("\nCriterion benches for fine-grained time-domain numbers:");
     println!("  e4    cargo bench -p gt-bench --bench ingest     (per-item cost, throughput)");
     println!("  e10   cargo bench -p gt-bench --bench merge      (referee cost vs parties)");

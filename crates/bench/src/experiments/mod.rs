@@ -21,6 +21,7 @@ pub mod e17_transport;
 pub mod e18_concurrent;
 pub mod e19_union;
 pub mod e20_hash_kernel;
+pub mod e21_keyed_store;
 
 use crate::table::Table;
 
@@ -142,6 +143,12 @@ pub const REGISTRY: &[Experiment] = &[
         description:
             "hash kernels: lane vs scalar bulk hashing + survival screen (BENCH_hash.json)",
         run: e20_hash_kernel::run,
+    },
+    Experiment {
+        id: "e21",
+        description:
+            "keyed multi-tenant store: Zipf keys under a byte budget, evict/restore (BENCH_store.json)",
+        run: e21_keyed_store::run,
     },
 ];
 

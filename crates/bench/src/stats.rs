@@ -7,10 +7,13 @@
 //!
 //! The `experiments` binary prints this after every run and the
 //! `sketch_stats` example exercises it standalone, so CI smoke covers the
-//! whole layer end to end.
+//! whole layer end to end. The keyed store's consistent-cut snapshot
+//! ([`gt_store::StoreMetricsSnapshot`]) gets the same treatment via
+//! [`render_store_stats`] / [`render_store_stats_json`].
 
 use std::time::Duration;
 
+use gt_store::StoreMetricsSnapshot;
 use gt_streams::ScenarioReport;
 
 fn secs(d: Duration) -> f64 {
@@ -136,6 +139,47 @@ pub fn render_stats_json(report: &ScenarioReport) -> String {
     )
 }
 
+/// Render a keyed-store snapshot as an indented, labelled plain-text
+/// block, matching [`render_stats`]'s shape.
+pub fn render_store_stats(snap: &StoreMetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("keyed-store stats\n");
+    for line in snap.to_string().lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the same snapshot as a single JSON object (the snapshot's own
+/// stable-key-order encoding).
+pub fn render_store_stats_json(snap: &StoreMetricsSnapshot) -> String {
+    snap.to_json()
+}
+
+/// Run a small keyed-store workload and return its snapshot — the
+/// demo/smoke input for the store stats renderers. The byte budget is
+/// deliberately tight so the eviction and restore counters are live.
+pub fn demo_store() -> StoreMetricsSnapshot {
+    let config =
+        gt_core::SketchConfig::from_shape(0.3, 0.3, 16, 5, gt_hash::HashFamilyKind::Pairwise)
+            .expect("static shape");
+    let options = gt_store::StoreOptions::default()
+        .with_shards(2)
+        .with_byte_budget(16 << 10)
+        .with_hot_threshold(64);
+    let store = gt_store::DistinctStore::new(&config, 0x5_7A75, options).expect("demo store");
+    let items: Vec<(u64, u64)> = (0..30_000u64)
+        .map(|i| (i % 300, gt_hash::fold61(i)))
+        .collect();
+    store.extend(&items).expect("demo ingest");
+    for key in 0..300 {
+        store.estimate(key).expect("demo query");
+    }
+    store.metrics_snapshot()
+}
+
 /// Run a small fixed scenario and return its report — the demo/smoke
 /// input for the stats renderers.
 pub fn demo_scenario() -> ScenarioReport {
@@ -178,5 +222,22 @@ mod tests {
         assert!(t.batches >= 1 && t.batches <= 4);
         assert_eq!(t.summaries_per_batch.iter().sum::<usize>(), t.batches);
         assert!((1..=4).contains(&report.union_metrics.merge_calls));
+    }
+
+    #[test]
+    fn store_stats_report_renders_without_panicking() {
+        let snap = demo_store();
+        let human = render_store_stats(&snap);
+        assert!(human.contains("keyed-store stats"));
+        assert!(human.contains("2 shards"));
+        assert!(human.contains("300 keys"));
+        assert!(human.contains("evictions"));
+        let json = render_store_stats_json(&snap);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"shards\":2"));
+        assert!(json.contains("\"keys\":300"));
+        // The demo budget is tight enough that the spill path is live.
+        assert!(snap.evictions > 0);
+        assert!(snap.queries >= 300);
     }
 }

@@ -326,6 +326,23 @@ impl<V: Payload> GtSketch<V> {
         trial.reload(level, items_observed, entries)
     }
 
+    /// Reset every trial to the empty level-0 state, keeping the allocated
+    /// sample storage.
+    ///
+    /// This is what makes pooled sketches reusable: `gt-store`'s scratch
+    /// and hot-tier sketches are cleared and refilled for a different key
+    /// instead of being rebuilt with [`GtSketch::new`] (which re-walks the
+    /// whole seed schedule) or cloned (which re-allocates every sample
+    /// table). A cleared sketch is bitwise-indistinguishable from a
+    /// freshly constructed one with the same config and seed.
+    pub fn clear(&mut self) {
+        for trial in &mut self.trials {
+            trial
+                .reload(0, 0, std::iter::empty())
+                .expect("reloading a trial to the empty level-0 state cannot fail");
+        }
+    }
+
     /// Raise every trial's sampling level to at least `other`'s, returning
     /// the number of per-trial level steps adopted.
     ///
@@ -939,6 +956,33 @@ mod tests {
             pooled.reload_trial(usize::MAX, 0, 0, vec![]),
             Err(SketchError::ConfigMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn clear_restores_the_freshly_built_state() {
+        let config = cfg(0.2, 0.2);
+        let fresh = DistinctSketch::new(&config, 73);
+        let mut used = DistinctSketch::new(&config, 73);
+        used.extend_labels(labels(5_000, 74));
+        assert!(used.sample_entries() > 0 && used.max_level() > 0);
+        used.clear();
+        let state = |s: &DistinctSketch| -> Vec<(u8, u64, usize)> {
+            s.trials()
+                .iter()
+                .map(|t| (t.level(), t.items_observed(), t.sample_len()))
+                .collect()
+        };
+        assert_eq!(state(&used), state(&fresh));
+        assert_eq!(used.items_observed(), 0);
+        // A cleared sketch behaves exactly like a fresh one from here on.
+        let mut refilled = fresh.clone();
+        refilled.extend_labels(labels(800, 75));
+        used.extend_labels(labels(800, 75));
+        assert_eq!(state(&used), state(&refilled));
+        assert_eq!(
+            used.estimate_distinct().value,
+            refilled.estimate_distinct().value
+        );
     }
 
     #[test]

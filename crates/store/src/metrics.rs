@@ -1,0 +1,263 @@
+//! Store observability: per-shard tallies with a consistent-cut snapshot.
+//!
+//! The counters follow the aggregation ordering rule from
+//! `gt_core::metrics`: every counter is recorded while holding the lock of
+//! the shard it describes, and [`crate::SketchStore::metrics_snapshot`]
+//! acquires **all** shard locks (in index order) before reading the first
+//! counter. The snapshot is therefore a consistent cut — sums like
+//! `resident_keys + pinned_keys + spilled_keys == keys` hold exactly, and
+//! no in-flight batch is half-counted.
+//!
+//! Unlike the sketch-level metrics there are no atomics here: a shard's
+//! tally is only ever touched under that shard's mutex, so plain `u64`
+//! fields are already race-free and cost one untyped add per event.
+
+use std::fmt;
+
+/// Plain-field event counters owned by one shard, mutated only under the
+/// shard lock.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ShardTally {
+    pub items: u64,
+    pub key_runs: u64,
+    pub folds: u64,
+    pub delta_replayed: u64,
+    pub promotions: u64,
+    pub pins: u64,
+    pub demotions: u64,
+    pub front_hits: u64,
+    pub front_refreshes: u64,
+    pub evictions: u64,
+    pub spilled_bytes: u64,
+    pub restores: u64,
+    pub restored_bytes: u64,
+    pub queries: u64,
+}
+
+/// Consistent-cut view of a [`crate::SketchStore`]'s counters and gauges.
+///
+/// Produced by [`crate::SketchStore::metrics_snapshot`]; all shard locks
+/// are held for the duration of the read, so the numbers describe one
+/// instant of the store, not a smear across concurrent batches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreMetricsSnapshot {
+    /// Shard count of the store (fixed at construction).
+    pub shards: u64,
+    /// Labels ingested, across all keys and shards.
+    pub items: u64,
+    /// Key-runs processed: one per `(batch, shard, key)` group, i.e. how
+    /// many times a per-key state was located and appended to.
+    pub key_runs: u64,
+    /// Delta-buffer folds: packed state materialized into a scratch
+    /// sketch, deltas replayed, state written back.
+    pub folds: u64,
+    /// Raw delta items replayed during folds.
+    pub delta_replayed: u64,
+    /// Slot-class promotions (key outgrew its slot, moved to a larger
+    /// class).
+    pub promotions: u64,
+    /// Keys promoted to the pinned hot tier.
+    pub pins: u64,
+    /// Hot keys demoted back to packed slots.
+    pub demotions: u64,
+    /// Point queries answered by a hot key's front cache without touching
+    /// the arena or the full sketch.
+    pub front_hits: u64,
+    /// Front-cache refreshes (epoch boundaries and first-query fills).
+    pub front_refreshes: u64,
+    /// Cold keys evicted to the spill log.
+    pub evictions: u64,
+    /// Canonical-codec bytes appended to spill logs.
+    pub spilled_bytes: u64,
+    /// Spilled keys restored on touch.
+    pub restores: u64,
+    /// Bytes read back and decoded during restores.
+    pub restored_bytes: u64,
+    /// Point queries served (all tiers).
+    pub queries: u64,
+    /// Keys currently tracked (resident + pinned + spilled).
+    pub keys: u64,
+    /// Keys currently resident in packed arena slots.
+    pub resident_keys: u64,
+    /// Keys currently pinned in the hot tier.
+    pub pinned_keys: u64,
+    /// Keys currently only on disk.
+    pub spilled_keys: u64,
+    /// Budget-accounted bytes: live packed slots plus pinned sketch heap.
+    pub resident_bytes: u64,
+    /// Actual arena slab footprint (live + free-listed slots).
+    pub arena_bytes: u64,
+    /// The store's configured byte budget.
+    pub budget_bytes: u64,
+}
+
+impl StoreMetricsSnapshot {
+    pub(crate) fn absorb_tally(&mut self, t: &ShardTally) {
+        self.items += t.items;
+        self.key_runs += t.key_runs;
+        self.folds += t.folds;
+        self.delta_replayed += t.delta_replayed;
+        self.promotions += t.promotions;
+        self.pins += t.pins;
+        self.demotions += t.demotions;
+        self.front_hits += t.front_hits;
+        self.front_refreshes += t.front_refreshes;
+        self.evictions += t.evictions;
+        self.spilled_bytes += t.spilled_bytes;
+        self.restores += t.restores;
+        self.restored_bytes += t.restored_bytes;
+        self.queries += t.queries;
+    }
+
+    /// Render as a single-line JSON object (stable key order), matching
+    /// the hand-rolled style of the other metrics snapshots in the repo.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"shards\":{},\"items\":{},\"key_runs\":{},\"folds\":{},",
+                "\"delta_replayed\":{},\"promotions\":{},\"pins\":{},",
+                "\"demotions\":{},\"front_hits\":{},\"front_refreshes\":{},",
+                "\"evictions\":{},\"spilled_bytes\":{},\"restores\":{},",
+                "\"restored_bytes\":{},\"queries\":{},\"keys\":{},",
+                "\"resident_keys\":{},\"pinned_keys\":{},\"spilled_keys\":{},",
+                "\"resident_bytes\":{},\"arena_bytes\":{},\"budget_bytes\":{}}}"
+            ),
+            self.shards,
+            self.items,
+            self.key_runs,
+            self.folds,
+            self.delta_replayed,
+            self.promotions,
+            self.pins,
+            self.demotions,
+            self.front_hits,
+            self.front_refreshes,
+            self.evictions,
+            self.spilled_bytes,
+            self.restores,
+            self.restored_bytes,
+            self.queries,
+            self.keys,
+            self.resident_keys,
+            self.pinned_keys,
+            self.spilled_keys,
+            self.resident_bytes,
+            self.arena_bytes,
+            self.budget_bytes,
+        )
+    }
+}
+
+impl fmt::Display for StoreMetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "store: {} shards, {} keys ({} resident / {} pinned / {} spilled)",
+            self.shards, self.keys, self.resident_keys, self.pinned_keys, self.spilled_keys
+        )?;
+        writeln!(
+            f,
+            "ingest: {} items over {} key-runs, {} folds ({} delta items replayed), {} promotions",
+            self.items, self.key_runs, self.folds, self.delta_replayed, self.promotions
+        )?;
+        writeln!(
+            f,
+            "hot tier: {} pins, {} demotions, {} front hits / {} refreshes over {} queries",
+            self.pins, self.demotions, self.front_hits, self.front_refreshes, self.queries
+        )?;
+        writeln!(
+            f,
+            "memory: {} resident / {} budget bytes ({} arena), {} evictions ({} bytes spilled), {} restores ({} bytes)",
+            self.resident_bytes,
+            self.budget_bytes,
+            self.arena_bytes,
+            self.evictions,
+            self.spilled_bytes,
+            self.restores,
+            self.restored_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_tallies() {
+        let mut snap = StoreMetricsSnapshot::default();
+        let t = ShardTally {
+            items: 10,
+            evictions: 2,
+            front_hits: 3,
+            ..Default::default()
+        };
+        snap.absorb_tally(&t);
+        snap.absorb_tally(&t);
+        assert_eq!(snap.items, 20);
+        assert_eq!(snap.evictions, 4);
+        assert_eq!(snap.front_hits, 6);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let snap = StoreMetricsSnapshot {
+            shards: 4,
+            items: 123,
+            resident_bytes: 456,
+            ..Default::default()
+        };
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"shards\":4"));
+        assert!(json.contains("\"items\":123"));
+        assert!(json.contains("\"resident_bytes\":456"));
+        // Every public field appears exactly once.
+        for key in [
+            "shards",
+            "items",
+            "key_runs",
+            "folds",
+            "delta_replayed",
+            "promotions",
+            "pins",
+            "demotions",
+            "front_hits",
+            "front_refreshes",
+            "evictions",
+            "spilled_bytes",
+            "restores",
+            "restored_bytes",
+            "queries",
+            "keys",
+            "resident_keys",
+            "pinned_keys",
+            "spilled_keys",
+            "resident_bytes",
+            "arena_bytes",
+            "budget_bytes",
+        ] {
+            assert_eq!(
+                json.matches(&format!("\"{key}\":")).count(),
+                1,
+                "key {key} missing or duplicated"
+            );
+        }
+    }
+
+    #[test]
+    fn display_mentions_the_load_bearing_numbers() {
+        let snap = StoreMetricsSnapshot {
+            shards: 2,
+            evictions: 7,
+            front_hits: 9,
+            ..Default::default()
+        };
+        let text = snap.to_json();
+        assert!(text.contains('7') && text.contains('9'));
+        let human = format!("{snap}");
+        assert!(human.contains("2 shards"));
+        assert!(human.contains("7 evictions"));
+        assert!(human.contains("9 front hits"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-shard on-disk spill log for evicted sketch state.
+//!
+//! Each shard owns one append-only log file. Evicting a key folds its
+//! packed state into canonical wire bytes (`gt_streams::encode_sketch`)
+//! and appends them here; the index entry keeps `(offset, len)`. Restoring
+//! reads that exact range back and decodes it — the canonical codec is
+//! bitwise round-trip stable, so a restored key is indistinguishable from
+//! one that never left memory (the per-key oracle test asserts exactly
+//! this across evict/restore cycles).
+//!
+//! The log is write-once per record: a key that is restored and later
+//! evicted again appends a *new* record, and the old range becomes dead
+//! space. That is the classic log-structured trade — sequential appends
+//! and no in-place rewrites in exchange for garbage that only a compaction
+//! pass (out of scope here) would reclaim. [`SpillLog::appended_bytes`]
+//! reports the raw log size so the bench can show the amplification.
+//!
+//! Everything here is plain seek + read/write on one `File` handle under
+//! the owning shard's lock — no positional-IO platform traps, no unsafe.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Append-only spill log owned by one shard.
+#[derive(Debug)]
+pub struct SpillLog {
+    file: File,
+    path: PathBuf,
+    end: u64,
+    records: u64,
+}
+
+impl SpillLog {
+    /// Create (truncating any stale file) the shard log at `path`.
+    ///
+    /// # Errors
+    /// Propagates the underlying `File` creation error.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            end: 0,
+            records: 0,
+        })
+    }
+
+    /// Append one encoded sketch; returns the `(offset, len)` the caller
+    /// must remember to read it back.
+    ///
+    /// # Errors
+    /// Propagates seek/write errors.
+    pub fn append(&mut self, bytes: &[u8]) -> std::io::Result<(u64, u32)> {
+        let offset = self.end;
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(bytes)?;
+        self.end += bytes.len() as u64;
+        self.records += 1;
+        Ok((offset, bytes.len() as u32))
+    }
+
+    /// Read the record at `(offset, len)` into `buf` (cleared first).
+    ///
+    /// # Errors
+    /// Propagates seek/read errors; a short read surfaces as
+    /// `UnexpectedEof`.
+    pub fn read(&mut self, offset: u64, len: u32, buf: &mut Vec<u8>) -> std::io::Result<()> {
+        buf.clear();
+        buf.resize(len as usize, 0);
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(buf)
+    }
+
+    /// Total bytes ever appended (live + dead records).
+    pub fn appended_bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// Total records ever appended.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Path of the backing file (for cleanup by the owning store).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "gt-store-spilltest-{}-{name}.log",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let path = temp_log("roundtrip");
+        let mut log = SpillLog::create(&path).unwrap();
+        let a: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let b = vec![0xABu8; 17];
+        let (off_a, len_a) = log.append(&a).unwrap();
+        let (off_b, len_b) = log.append(&b).unwrap();
+        assert_eq!(off_a, 0);
+        assert_eq!(off_b, a.len() as u64);
+        assert_eq!(log.records(), 2);
+        assert_eq!(log.appended_bytes(), (a.len() + b.len()) as u64);
+
+        let mut buf = Vec::new();
+        // Reads in arbitrary order, interleaved with another append.
+        log.read(off_b, len_b, &mut buf).unwrap();
+        assert_eq!(buf, b);
+        let (off_c, len_c) = log.append(&a).unwrap();
+        log.read(off_a, len_a, &mut buf).unwrap();
+        assert_eq!(buf, a);
+        log.read(off_c, len_c, &mut buf).unwrap();
+        assert_eq!(buf, a);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_read_is_an_error() {
+        let path = temp_log("short");
+        let mut log = SpillLog::create(&path).unwrap();
+        let (off, _) = log.append(&[1, 2, 3]).unwrap();
+        let mut buf = Vec::new();
+        assert!(log.read(off, 10, &mut buf).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

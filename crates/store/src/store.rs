@@ -1,0 +1,1422 @@
+//! The keyed multi-tenant sketch store.
+//!
+//! [`SketchStore`] holds one coordinated GT sketch per `u64` key — designed
+//! for millions of small sketches behind one ingest path. Every key shares
+//! the store's [`SketchConfig`] and master seed, so any key's state is
+//! always bitwise-interchangeable (canonical wire bytes) with a standalone
+//! [`GtSketch`] fed the same labels; the per-key oracle test holds the
+//! store to exactly that.
+//!
+//! ## Tiers
+//!
+//! A key lives in exactly one of three tiers:
+//!
+//! * **Resident (packed)** — the common case. State lives in a per-shard
+//!   [`SlotArena`] slot: a packed sketch section (per trial: level+count
+//!   word, items word, then the sample entries) followed by a *delta
+//!   buffer* of raw labels appended with no hashing at all. Because a
+//!   coordinated sketch's state is a pure function of the observed label
+//!   multiset (the interleaving-independence property the concurrent tests
+//!   prove), deferring the hash work is lossless: when the slot fills — or
+//!   a query/eviction/pin needs real state — the packed section is
+//!   reloaded into a pooled scratch sketch, the delta is replayed in
+//!   arrival order through the batch kernel, and the folded state is
+//!   written back. Cold keys therefore pay ~1 word write per item on the
+//!   ingest path.
+//! * **Pinned (hot)** — keys whose per-epoch traffic crosses
+//!   [`StoreOptions::hot_threshold`] are promoted to a pooled full
+//!   [`GtSketch`] ingested directly through the batch kernels, plus a tiny
+//!   *front cache* (SF-sketch shape): the estimate computed at the last
+//!   epoch boundary, served to point queries without touching sketch or
+//!   arena. Front answers are at most one epoch stale; the authoritative
+//!   paths ([`SketchStore::canonical_bytes`], eviction) always read the
+//!   full sketch. Keys that cool down are demoted back to a packed slot at
+//!   the next epoch boundary.
+//! * **Spilled** — evicted under memory pressure: folded, encoded with the
+//!   canonical codec, appended to the shard's [`SpillLog`]. The next touch
+//!   restores it bitwise-identically via `decode_sketch_into`.
+//!
+//! ## Sharding and locking
+//!
+//! Keys hash (`mix64`) onto a power-of-two shard array sized from
+//! [`effective_workers`]. Ingest stages up to [`STORE_STAGE`] items,
+//! sorts them by `(shard, key, arrival)` — arrival order is preserved
+//! *within* a key, which is what keep-first payload semantics need — and
+//! takes each shard lock once per staged batch, mirroring
+//! `ShardedSketch::extend_labels`. All store counters are recorded under
+//! the owning shard's lock; [`SketchStore::metrics_snapshot`] takes every
+//! shard lock in index order for a consistent cut.
+//!
+//! ## Eviction
+//!
+//! Each shard enforces `byte_budget / shards` over its *budgeted* resident
+//! bytes (live slot bytes + pinned sketch heap). Pressure pops an
+//! approximate-LRU queue of `(key, stamp)` touches (stale stamps are
+//! lazily skipped; pinned victims are demoted first), spilling until the
+//! shard is back under budget or nothing evictable remains.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use crossbeam::utils::CachePadded;
+use gt_core::{effective_workers, Estimate, GtSketch, SketchConfig};
+use gt_hash::mix64;
+use gt_streams::{decode_sketch_into, encode_sketch, DecodeScratch, WirePayload};
+use parking_lot::Mutex;
+
+use crate::arena::{SketchHandle, SlotArena};
+use crate::metrics::{ShardTally, StoreMetricsSnapshot};
+use crate::spill::SpillLog;
+use crate::Result;
+
+/// Staging-buffer size for keyed ingest: items are grouped by
+/// `(shard, key)` in chunks of this many entries so each shard lock is
+/// taken once per chunk. Matches `gt_core::sketch::INGEST_BUF`.
+pub const STORE_STAGE: usize = 1024;
+
+/// Payloads a [`SketchStore`] can pack into arena words. `WORDS` is the
+/// packed width per sample entry — `0` for `()` (distinct counting), `1`
+/// for word-sized payloads like `u64`.
+pub trait StorePayload: WirePayload {
+    /// Packed words per payload (0 or 1).
+    const WORDS: usize;
+    /// Pack into one arena word. Never called when `WORDS == 0`.
+    fn to_word(self) -> u64;
+    /// Unpack from one arena word. Never called when `WORDS == 0`.
+    fn from_word(word: u64) -> Self;
+}
+
+impl StorePayload for () {
+    const WORDS: usize = 0;
+    fn to_word(self) -> u64 {
+        0
+    }
+    fn from_word(_word: u64) -> Self {}
+}
+
+impl StorePayload for u64 {
+    const WORDS: usize = 1;
+    fn to_word(self) -> u64 {
+        self
+    }
+    fn from_word(word: u64) -> Self {
+        word
+    }
+}
+
+/// Construction knobs for a [`SketchStore`].
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// Shard count; `0` (the default) means [`effective_workers`]. Rounded
+    /// up to a power of two.
+    pub shards: usize,
+    /// Total budgeted resident bytes across all shards (live packed slots
+    /// plus pinned sketch heap). Crossing it triggers LRU eviction to the
+    /// spill log. Default 64 MiB.
+    pub byte_budget: usize,
+    /// Items a key must receive within one epoch to be pinned into the hot
+    /// tier; `0` disables the hot tier entirely. Default 4096.
+    pub hot_threshold: u32,
+    /// Ingested items per automatic epoch advance (front-cache refresh
+    /// cadence); `0` disables automatic advances — call
+    /// [`SketchStore::advance_epoch`] yourself. Default 1 Mi items.
+    pub epoch_items: u64,
+    /// Directory for the per-shard spill logs. `None` (the default) makes
+    /// a unique directory under [`std::env::temp_dir`] that is removed on
+    /// drop; a provided directory is created if missing and its log files
+    /// are removed on drop, but the directory itself is kept.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            shards: 0,
+            byte_budget: 64 << 20,
+            hot_threshold: 4096,
+            epoch_items: 1 << 20,
+            spill_dir: None,
+        }
+    }
+}
+
+impl StoreOptions {
+    /// Set the shard count (see [`StoreOptions::shards`]).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Set the byte budget (see [`StoreOptions::byte_budget`]).
+    #[must_use]
+    pub fn with_byte_budget(mut self, bytes: usize) -> Self {
+        self.byte_budget = bytes;
+        self
+    }
+
+    /// Set the hot-key threshold (see [`StoreOptions::hot_threshold`]).
+    #[must_use]
+    pub fn with_hot_threshold(mut self, items: u32) -> Self {
+        self.hot_threshold = items;
+        self
+    }
+
+    /// Set the automatic epoch cadence (see [`StoreOptions::epoch_items`]).
+    #[must_use]
+    pub fn with_epoch_items(mut self, items: u64) -> Self {
+        self.epoch_items = items;
+        self
+    }
+
+    /// Set an explicit spill directory (see [`StoreOptions::spill_dir`]).
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+}
+
+/// One staged ingest entry, tagged with its shard and arrival sequence so
+/// the sort groups by `(shard, key)` while preserving arrival order within
+/// a key (keep-first payload semantics depend on that order).
+struct Staged<V> {
+    shard: u32,
+    seq: u32,
+    key: u64,
+    label: u64,
+    payload: V,
+}
+
+/// Where a key's state currently lives.
+#[derive(Clone, Copy, Debug)]
+enum KeyState {
+    /// Packed in an arena slot: `sketch_words` words of packed sketch
+    /// section followed by `delta_items` raw unfolded items.
+    Resident {
+        handle: SketchHandle,
+        sketch_words: u32,
+        delta_items: u32,
+    },
+    /// Pinned in the hot tier at `pinned[idx]`.
+    Pinned { idx: u32 },
+    /// On disk in the shard's spill log.
+    Spilled { offset: u64, len: u32 },
+}
+
+/// Per-key index entry.
+struct KeyEntry {
+    state: KeyState,
+    /// Stamp of this key's latest LRU touch (stale queue entries carry an
+    /// older stamp and are skipped).
+    last_stamp: u64,
+    /// Epoch `epoch_items` was last reset in.
+    epoch: u64,
+    /// Items seen this epoch — the popularity signal for pinning.
+    epoch_items: u32,
+}
+
+/// Epoch-refreshed point-query answer for a hot key (the SF-sketch style
+/// "front" stage). At most one epoch stale.
+#[derive(Clone, Copy)]
+struct FrontCache {
+    estimate: Estimate,
+    epoch: u64,
+}
+
+/// Hot-tier slot: a pooled full sketch plus its front cache.
+struct PinnedSlot<V: StorePayload> {
+    key: u64,
+    live: bool,
+    sketch: GtSketch<V>,
+    front: Option<FrontCache>,
+}
+
+struct ShardState<V: StorePayload> {
+    index: HashMap<u64, KeyEntry>,
+    arena: SlotArena,
+    pinned: Vec<PinnedSlot<V>>,
+    pinned_free: Vec<u32>,
+    /// Empty coordinated sketch cloned for new pinned slots.
+    prototype: GtSketch<V>,
+    /// Pooled sketch every fold/query/evict materializes into.
+    scratch: GtSketch<V>,
+    /// Reusable `(label, payload)` buffer for delta replay and hot-tier
+    /// batch ingest.
+    run_buf: Vec<(u64, V)>,
+    spill: SpillLog,
+    spill_buf: Vec<u8>,
+    decode_scratch: DecodeScratch<V>,
+    /// Approximate-LRU touch queue of `(key, stamp)`.
+    lru: VecDeque<(u64, u64)>,
+    stamp: u64,
+    /// Budgeted bytes: live slot-class bytes + pinned sketch heap.
+    resident_bytes: usize,
+    resident_keys: u64,
+    pinned_keys: u64,
+    spilled_keys: u64,
+    seen_epoch: u64,
+    budget: usize,
+    hot_threshold: u32,
+    /// `heap_bytes()` of one pooled sketch (constant per config — the
+    /// sample tables are fixed-capacity).
+    pinned_heap_bytes: usize,
+    tally: ShardTally,
+}
+
+impl<V: StorePayload> ShardState<V> {
+    /// Packed words per sample entry: the label plus the payload words.
+    const ENTRY_WORDS: usize = 1 + V::WORDS;
+
+    /// Words the packed sketch section of `sketch` needs.
+    fn packed_words(sketch: &GtSketch<V>) -> usize {
+        sketch
+            .trials()
+            .iter()
+            .map(|t| 2 + t.sample_len() * Self::ENTRY_WORDS)
+            .sum()
+    }
+
+    /// Delta headroom a written-back slot must keep: at least 8 items, and
+    /// at least a quarter of the sketch section (so slot classes roughly
+    /// double alongside the state they hold).
+    fn headroom(needed: usize) -> usize {
+        (needed / 4).max(8 * Self::ENTRY_WORDS)
+    }
+
+    /// Materialize a packed slot into `sketch`: reload the sketch section
+    /// (or clear, when the key has only ever buffered deltas), then replay
+    /// the delta items in arrival order through the merging batch kernel.
+    /// Pure function of the slot contents — callers decide whether to
+    /// write the folded state back.
+    fn parse_into(
+        sketch: &mut GtSketch<V>,
+        slot: &[u64],
+        sketch_words: usize,
+        delta_items: usize,
+        replay: &mut Vec<(u64, V)>,
+    ) {
+        let ew = Self::ENTRY_WORDS;
+        if sketch_words == 0 {
+            sketch.clear();
+        } else {
+            let trials = sketch.trials().len();
+            let mut pos = 0usize;
+            for t in 0..trials {
+                let meta = slot[pos];
+                let level = (meta >> 56) as u8;
+                let n = (meta & ((1u64 << 56) - 1)) as usize;
+                let items = slot[pos + 1];
+                let base = pos + 2;
+                let entries = (0..n).map(|i| {
+                    let at = base + i * ew;
+                    let payload = if V::WORDS == 1 {
+                        V::from_word(slot[at + 1])
+                    } else {
+                        V::default()
+                    };
+                    (slot[at], payload)
+                });
+                sketch
+                    .reload_trial(t, level, items, entries)
+                    .expect("packed slot state is self-consistent");
+                pos = base + n * ew;
+            }
+            debug_assert_eq!(pos, sketch_words);
+        }
+        replay.clear();
+        let mut at = sketch_words;
+        for _ in 0..delta_items {
+            let payload = if V::WORDS == 1 {
+                V::from_word(slot[at + 1])
+            } else {
+                V::default()
+            };
+            replay.push((slot[at], payload));
+            at += ew;
+        }
+        if !replay.is_empty() {
+            sketch.insert_batch_merging_with(replay);
+        }
+    }
+
+    /// Write `sketch`'s packed section into `slot`, returning the words
+    /// written (== [`ShardState::packed_words`]).
+    fn write_sketch_section(sketch: &GtSketch<V>, slot: &mut [u64]) -> usize {
+        let ew = Self::ENTRY_WORDS;
+        let mut pos = 0usize;
+        for t in sketch.trials() {
+            let n = t.sample_len();
+            slot[pos] = ((t.level() as u64) << 56) | n as u64;
+            slot[pos + 1] = t.items_observed();
+            let mut at = pos + 2;
+            for (label, payload) in t.sample_iter() {
+                slot[at] = label;
+                if V::WORDS == 1 {
+                    slot[at + 1] = payload.to_word();
+                }
+                at += ew;
+            }
+            pos = at;
+        }
+        pos
+    }
+
+    /// Record a touch for the LRU queue, compacting stale entries when the
+    /// queue outgrows the live key set.
+    fn touch_lru(&mut self, key: u64) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(entry) = self.index.get_mut(&key) {
+            entry.last_stamp = stamp;
+        }
+        self.note_touch(key, stamp);
+    }
+
+    /// LRU bookkeeping for a touch whose stamp is already recorded on the
+    /// key's entry (the ingest path sets it while it holds the entry
+    /// borrow, saving a second index lookup).
+    fn note_touch(&mut self, key: u64, stamp: u64) {
+        self.lru.push_back((key, stamp));
+        if self.lru.len() > (2 * self.index.len()).max(1024) {
+            let index = &self.index;
+            self.lru
+                .retain(|&(k, s)| index.get(&k).is_some_and(|e| e.last_stamp == s));
+        }
+    }
+
+    /// Bring the shard up to the store's current epoch: refresh the front
+    /// cache of every still-hot pinned key and demote the ones that cooled
+    /// off. Lazy — runs once per shard per epoch, on the first lock
+    /// acquisition that observes the new epoch.
+    fn sync_epoch(&mut self, global: u64) {
+        if self.seen_epoch == global {
+            return;
+        }
+        let ended = self.seen_epoch;
+        self.seen_epoch = global;
+        let mut cooled = Vec::new();
+        for idx in 0..self.pinned.len() {
+            if !self.pinned[idx].live {
+                continue;
+            }
+            let key = self.pinned[idx].key;
+            let (epoch, epoch_items) = {
+                let e = &self.index[&key];
+                (e.epoch, e.epoch_items)
+            };
+            // Hysteresis: stay pinned on half the promotion threshold, so
+            // a key oscillating around the threshold does not ping-pong.
+            let still_hot =
+                epoch == ended && u64::from(epoch_items) * 2 >= u64::from(self.hot_threshold);
+            if still_hot {
+                let estimate = self.pinned[idx].sketch.estimate_distinct();
+                self.pinned[idx].front = Some(FrontCache {
+                    estimate,
+                    epoch: global,
+                });
+                self.tally.front_refreshes += 1;
+            } else {
+                cooled.push(idx);
+            }
+        }
+        for idx in cooled {
+            self.demote(idx);
+        }
+    }
+
+    /// Write the scratch sketch back as `key`'s resident state, promoting
+    /// (or shrinking) the slot class as needed. `old` is the key's current
+    /// slot, if any; `None` means the key has no slot (fresh restore).
+    fn writeback_scratch(&mut self, key: u64, old: Option<SketchHandle>) {
+        let needed = Self::packed_words(&self.scratch);
+        let class = self.arena.class_for(needed + Self::headroom(needed));
+        let handle = match old {
+            Some(h) if h.class == class => h,
+            Some(h) => {
+                self.resident_bytes -= self.arena.class_bytes(h.class);
+                self.arena.free(h);
+                if class > h.class {
+                    self.tally.promotions += 1;
+                }
+                let fresh = self.arena.alloc(class);
+                self.resident_bytes += self.arena.class_bytes(class);
+                fresh
+            }
+            None => {
+                let fresh = self.arena.alloc(class);
+                self.resident_bytes += self.arena.class_bytes(class);
+                fresh
+            }
+        };
+        let written = Self::write_sketch_section(&self.scratch, self.arena.slot_mut(handle));
+        debug_assert_eq!(written, needed);
+        self.index
+            .get_mut(&key)
+            .expect("writeback of unknown key")
+            .state = KeyState::Resident {
+            handle,
+            sketch_words: needed as u32,
+            delta_items: 0,
+        };
+    }
+
+    /// Fold a resident key into the scratch sketch. Writes the folded
+    /// state back when a delta was replayed (the fold should be paid once,
+    /// not per query) or when `force_writeback` asks for a fresh slot
+    /// sizing (the append path uses this to promote a full slot).
+    fn fold_resident(&mut self, key: u64, force_writeback: bool) {
+        let KeyState::Resident {
+            handle,
+            sketch_words,
+            delta_items,
+        } = self.index[&key].state
+        else {
+            unreachable!("fold_resident on a non-resident key");
+        };
+        Self::parse_into(
+            &mut self.scratch,
+            self.arena.slot(handle),
+            sketch_words as usize,
+            delta_items as usize,
+            &mut self.run_buf,
+        );
+        if delta_items > 0 {
+            self.tally.folds += 1;
+            self.tally.delta_replayed += u64::from(delta_items);
+        }
+        if force_writeback || delta_items > 0 {
+            self.writeback_scratch(key, Some(handle));
+        }
+    }
+
+    /// Promote a resident key into the hot tier.
+    fn pin(&mut self, key: u64) {
+        let KeyState::Resident {
+            handle,
+            sketch_words,
+            delta_items,
+        } = self.index[&key].state
+        else {
+            return;
+        };
+        let idx = match self.pinned_free.pop() {
+            Some(i) => i as usize,
+            None => {
+                self.pinned.push(PinnedSlot {
+                    key: 0,
+                    live: false,
+                    sketch: self.prototype.clone(),
+                    front: None,
+                });
+                self.pinned.len() - 1
+            }
+        };
+        Self::parse_into(
+            &mut self.pinned[idx].sketch,
+            self.arena.slot(handle),
+            sketch_words as usize,
+            delta_items as usize,
+            &mut self.run_buf,
+        );
+        if delta_items > 0 {
+            self.tally.folds += 1;
+            self.tally.delta_replayed += u64::from(delta_items);
+        }
+        self.resident_bytes -= self.arena.class_bytes(handle.class);
+        self.arena.free(handle);
+        self.resident_bytes += self.pinned_heap_bytes;
+        let slot = &mut self.pinned[idx];
+        slot.key = key;
+        slot.live = true;
+        slot.front = None;
+        self.index.get_mut(&key).expect("pin of unknown key").state =
+            KeyState::Pinned { idx: idx as u32 };
+        self.resident_keys -= 1;
+        self.pinned_keys += 1;
+        self.tally.pins += 1;
+    }
+
+    /// Demote a hot key back to a packed arena slot.
+    fn demote(&mut self, idx: usize) {
+        let key = self.pinned[idx].key;
+        let needed = Self::packed_words(&self.pinned[idx].sketch);
+        let class = self.arena.class_for(needed + Self::headroom(needed));
+        let handle = self.arena.alloc(class);
+        let written =
+            Self::write_sketch_section(&self.pinned[idx].sketch, self.arena.slot_mut(handle));
+        debug_assert_eq!(written, needed);
+        self.resident_bytes += self.arena.class_bytes(class);
+        self.resident_bytes -= self.pinned_heap_bytes;
+        let slot = &mut self.pinned[idx];
+        slot.live = false;
+        slot.front = None;
+        self.pinned_free.push(idx as u32);
+        self.index
+            .get_mut(&key)
+            .expect("demote of unknown key")
+            .state = KeyState::Resident {
+            handle,
+            sketch_words: needed as u32,
+            delta_items: 0,
+        };
+        self.pinned_keys -= 1;
+        self.resident_keys += 1;
+        self.tally.demotions += 1;
+    }
+
+    /// Restore a spilled key into a fresh packed slot, bitwise-identically
+    /// (the canonical codec enforces seed/config and round-trips exactly).
+    fn restore(&mut self, key: u64) -> Result<()> {
+        let KeyState::Spilled { offset, len } = self.index[&key].state else {
+            return Ok(());
+        };
+        self.spill.read(offset, len, &mut self.spill_buf)?;
+        let bytes = Bytes::from(self.spill_buf.as_slice());
+        decode_sketch_into(&mut self.scratch, bytes, &mut self.decode_scratch)?;
+        self.writeback_scratch(key, None);
+        self.spilled_keys -= 1;
+        self.resident_keys += 1;
+        self.tally.restores += 1;
+        self.tally.restored_bytes += u64::from(len);
+        Ok(())
+    }
+
+    /// Evict the least-recently-used evictable key to the spill log.
+    /// Returns `false` when nothing evictable remains (or the disk refused
+    /// the spill — the victim stays resident).
+    fn evict_one(&mut self) -> bool {
+        while let Some((key, stamp)) = self.lru.pop_front() {
+            let Some(entry) = self.index.get(&key) else {
+                continue;
+            };
+            if entry.last_stamp != stamp {
+                continue;
+            }
+            let mut state = entry.state;
+            if let KeyState::Pinned { idx } = state {
+                self.demote(idx as usize);
+                state = self.index[&key].state;
+            }
+            let KeyState::Resident {
+                handle,
+                sketch_words,
+                delta_items,
+            } = state
+            else {
+                continue;
+            };
+            Self::parse_into(
+                &mut self.scratch,
+                self.arena.slot(handle),
+                sketch_words as usize,
+                delta_items as usize,
+                &mut self.run_buf,
+            );
+            if delta_items > 0 {
+                self.tally.folds += 1;
+                self.tally.delta_replayed += u64::from(delta_items);
+            }
+            let bytes = encode_sketch(&self.scratch);
+            match self.spill.append(&bytes) {
+                Ok((offset, len)) => {
+                    self.resident_bytes -= self.arena.class_bytes(handle.class);
+                    self.arena.free(handle);
+                    let entry = self.index.get_mut(&key).expect("evict of unknown key");
+                    entry.state = KeyState::Spilled { offset, len };
+                    self.resident_keys -= 1;
+                    self.spilled_keys += 1;
+                    self.tally.evictions += 1;
+                    self.tally.spilled_bytes += u64::from(len);
+                    return true;
+                }
+                Err(_) => {
+                    // Disk refused the spill: keep the victim resident
+                    // (its slot is untouched) and stop evicting.
+                    self.lru.push_back((key, stamp));
+                    return false;
+                }
+            }
+        }
+        false
+    }
+
+    /// Evict until the shard is back under its byte budget or nothing
+    /// evictable remains.
+    fn maybe_evict(&mut self) {
+        while self.resident_bytes > self.budget {
+            if !self.evict_one() {
+                break;
+            }
+        }
+    }
+
+    /// Ingest one staged key-run (all entries share `key`, arrival order
+    /// preserved). The steady-state resident path holds a single index
+    /// borrow: epoch/LRU bookkeeping, the hot check, and the delta append
+    /// all happen against one `get_mut`, with the arena accessed as a
+    /// disjoint field. Only the rare transitions (create, restore, pin,
+    /// slot-full fold) release the borrow.
+    fn ingest_run(&mut self, key: u64, run: &[Staged<V>]) -> Result<()> {
+        self.tally.key_runs += 1;
+        self.tally.items += run.len() as u64;
+        let ew = Self::ENTRY_WORDS;
+        let seen = self.seen_epoch;
+        let threshold = self.hot_threshold;
+        self.stamp += 1;
+        let stamp = self.stamp;
+
+        match self.index.get(&key).map(|e| e.state) {
+            None => {
+                let handle = self.arena.alloc(0);
+                self.resident_bytes += self.arena.class_bytes(0);
+                self.index.insert(
+                    key,
+                    KeyEntry {
+                        state: KeyState::Resident {
+                            handle,
+                            sketch_words: 0,
+                            delta_items: 0,
+                        },
+                        last_stamp: 0,
+                        epoch: seen,
+                        epoch_items: 0,
+                    },
+                );
+                self.resident_keys += 1;
+            }
+            Some(KeyState::Spilled { .. }) => self.restore(key)?,
+            Some(_) => {}
+        }
+
+        let entry = self.index.get_mut(&key).expect("entry ensured above");
+        if entry.epoch != seen {
+            entry.epoch = seen;
+            entry.epoch_items = 0;
+        }
+        entry.epoch_items = entry.epoch_items.saturating_add(run.len() as u32);
+        entry.last_stamp = stamp;
+        let hot = threshold != 0 && entry.epoch_items >= threshold;
+
+        match entry.state {
+            KeyState::Pinned { idx } => self.ingest_pinned(idx as usize, run),
+            KeyState::Resident { .. } if hot => {
+                self.pin(key);
+                let KeyState::Pinned { idx } = self.index[&key].state else {
+                    unreachable!("pin left the key unpinned");
+                };
+                self.ingest_pinned(idx as usize, run);
+            }
+            KeyState::Resident { .. } => {
+                let mut rest = run;
+                loop {
+                    let entry = self.index.get_mut(&key).expect("entry ensured above");
+                    let KeyState::Resident {
+                        handle,
+                        sketch_words,
+                        mut delta_items,
+                    } = entry.state
+                    else {
+                        unreachable!("fold left the key non-resident");
+                    };
+                    let cap = self.arena.class_words(handle.class);
+                    let base = sketch_words as usize + delta_items as usize * ew;
+                    let space = (cap - base) / ew;
+                    let take = space.min(rest.len());
+                    if take > 0 {
+                        let slot = self.arena.slot_mut(handle);
+                        for (i, item) in rest[..take].iter().enumerate() {
+                            let at = base + i * ew;
+                            slot[at] = item.label;
+                            if V::WORDS == 1 {
+                                slot[at + 1] = item.payload.to_word();
+                            }
+                        }
+                        delta_items += take as u32;
+                        entry.state = KeyState::Resident {
+                            handle,
+                            sketch_words,
+                            delta_items,
+                        };
+                        rest = &rest[take..];
+                    }
+                    if rest.is_empty() {
+                        break;
+                    }
+                    // Slot full: fold the delta in, which re-sizes the
+                    // slot with fresh delta headroom.
+                    self.fold_resident(key, true);
+                }
+            }
+            KeyState::Spilled { .. } => unreachable!("spilled key restored above"),
+        }
+        self.note_touch(key, stamp);
+        Ok(())
+    }
+
+    /// Hot-tier ingest: straight through the merging batch kernel.
+    fn ingest_pinned(&mut self, idx: usize, run: &[Staged<V>]) {
+        self.run_buf.clear();
+        self.run_buf
+            .extend(run.iter().map(|s| (s.label, s.payload)));
+        self.pinned[idx]
+            .sketch
+            .insert_batch_merging_with(&self.run_buf);
+    }
+
+    /// Point query. `None` for a key the store has never seen.
+    fn estimate(&mut self, key: u64) -> Result<Option<Estimate>> {
+        self.tally.queries += 1;
+        let Some(entry) = self.index.get(&key) else {
+            return Ok(None);
+        };
+        let est = match entry.state {
+            KeyState::Pinned { idx } => {
+                let idx = idx as usize;
+                if let Some(front) = self.pinned[idx].front {
+                    if front.epoch == self.seen_epoch {
+                        self.tally.front_hits += 1;
+                        self.touch_lru(key);
+                        return Ok(Some(front.estimate));
+                    }
+                }
+                let estimate = self.pinned[idx].sketch.estimate_distinct();
+                self.pinned[idx].front = Some(FrontCache {
+                    estimate,
+                    epoch: self.seen_epoch,
+                });
+                self.tally.front_refreshes += 1;
+                estimate
+            }
+            KeyState::Resident { .. } => {
+                self.fold_resident(key, false);
+                self.scratch.estimate_distinct()
+            }
+            KeyState::Spilled { .. } => {
+                self.restore(key)?;
+                self.fold_resident(key, false);
+                self.scratch.estimate_distinct()
+            }
+        };
+        self.touch_lru(key);
+        Ok(Some(est))
+    }
+
+    /// Items observed for `key` (exact, all tiers).
+    fn items_observed(&mut self, key: u64) -> Result<Option<u64>> {
+        let Some(entry) = self.index.get(&key) else {
+            return Ok(None);
+        };
+        let items = match entry.state {
+            KeyState::Pinned { idx } => self.pinned[idx as usize].sketch.items_observed(),
+            KeyState::Resident { .. } => {
+                self.fold_resident(key, false);
+                self.scratch.items_observed()
+            }
+            KeyState::Spilled { .. } => {
+                self.restore(key)?;
+                self.fold_resident(key, false);
+                self.scratch.items_observed()
+            }
+        };
+        self.touch_lru(key);
+        Ok(Some(items))
+    }
+
+    /// Canonical wire bytes of `key`'s sketch — the authoritative state
+    /// the per-key oracle compares against a standalone sketch.
+    fn canonical_bytes(&mut self, key: u64) -> Result<Option<Bytes>> {
+        let Some(entry) = self.index.get(&key) else {
+            return Ok(None);
+        };
+        let bytes = match entry.state {
+            KeyState::Pinned { idx } => encode_sketch(&self.pinned[idx as usize].sketch),
+            KeyState::Resident { .. } => {
+                self.fold_resident(key, false);
+                encode_sketch(&self.scratch)
+            }
+            KeyState::Spilled { .. } => {
+                self.restore(key)?;
+                self.fold_resident(key, false);
+                encode_sketch(&self.scratch)
+            }
+        };
+        self.touch_lru(key);
+        Ok(Some(bytes))
+    }
+}
+
+/// Keyed multi-tenant sketch store. See the [module docs](self) for the
+/// tier/locking/eviction design.
+///
+/// ```
+/// use gt_store::{SketchStore, StoreOptions};
+/// use gt_core::SketchConfig;
+/// let config = SketchConfig::new(0.2, 0.2).unwrap();
+/// let store = SketchStore::<()>::new(&config, 7, StoreOptions::default()).unwrap();
+/// store.extend(&[(1, 100), (2, 200), (1, 101)]).unwrap();
+/// assert_eq!(store.items_observed(1).unwrap(), Some(2));
+/// assert!(store.estimate(1).unwrap().is_some());
+/// assert!(store.estimate(99).unwrap().is_none());
+/// ```
+pub struct SketchStore<V: StorePayload = ()> {
+    config: SketchConfig,
+    master_seed: u64,
+    shards: Vec<CachePadded<Mutex<ShardState<V>>>>,
+    shard_mask: u64,
+    byte_budget: usize,
+    epoch: AtomicU64,
+    items_since_epoch: AtomicU64,
+    epoch_item_target: u64,
+    spill_dir: PathBuf,
+    owns_spill_dir: bool,
+}
+
+/// A [`SketchStore`] counting distinct labels per key (no payloads).
+pub type DistinctStore = SketchStore<()>;
+
+impl<V: StorePayload> SketchStore<V> {
+    /// Build a store whose per-key sketches all share `config` and
+    /// `master_seed` (so any key unions losslessly with any coordinated
+    /// peer).
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] if the spill directory or a shard log cannot be
+    /// created.
+    pub fn new(config: &SketchConfig, master_seed: u64, options: StoreOptions) -> Result<Self> {
+        let requested = if options.shards == 0 {
+            effective_workers()
+        } else {
+            options.shards
+        };
+        let shard_count = requested.next_power_of_two();
+        let (spill_dir, owns_spill_dir) = match &options.spill_dir {
+            Some(dir) => (dir.clone(), false),
+            None => {
+                static UNIQ: AtomicU64 = AtomicU64::new(0);
+                let mut dir = std::env::temp_dir();
+                dir.push(format!(
+                    "gt-store-{}-{}",
+                    std::process::id(),
+                    UNIQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                (dir, true)
+            }
+        };
+        std::fs::create_dir_all(&spill_dir)?;
+        let prototype = GtSketch::<V>::new(config, master_seed);
+        let ew = 1 + V::WORDS;
+        let trials = config.trials();
+        let full = trials * (2 + config.capacity() * ew);
+        let max_words = full + (full / 4).max(8 * ew);
+        let min_words = 2 * trials + 6;
+        let budget = (options.byte_budget / shard_count).max(1);
+        let shards = (0..shard_count)
+            .map(|i| {
+                let spill = SpillLog::create(&spill_dir.join(format!("shard-{i:03}.spill")))?;
+                Ok(CachePadded::new(Mutex::new(ShardState {
+                    index: HashMap::new(),
+                    arena: SlotArena::new(min_words, max_words),
+                    pinned: Vec::new(),
+                    pinned_free: Vec::new(),
+                    prototype: prototype.clone(),
+                    scratch: prototype.clone(),
+                    run_buf: Vec::new(),
+                    spill,
+                    spill_buf: Vec::new(),
+                    decode_scratch: DecodeScratch::new(),
+                    lru: VecDeque::new(),
+                    stamp: 0,
+                    resident_bytes: 0,
+                    resident_keys: 0,
+                    pinned_keys: 0,
+                    spilled_keys: 0,
+                    seen_epoch: 0,
+                    budget,
+                    hot_threshold: options.hot_threshold,
+                    pinned_heap_bytes: prototype.heap_bytes(),
+                    tally: ShardTally::default(),
+                })))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SketchStore {
+            config: *config,
+            master_seed,
+            shards,
+            shard_mask: shard_count as u64 - 1,
+            byte_budget: options.byte_budget,
+            epoch: AtomicU64::new(0),
+            items_since_epoch: AtomicU64::new(0),
+            epoch_item_target: options.epoch_items,
+            spill_dir,
+            owns_spill_dir,
+        })
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        (mix64(key ^ 0xC3C3_C3C3_C3C3_C3C3) & self.shard_mask) as usize
+    }
+
+    fn note_items(&self, n: u64) {
+        if self.epoch_item_target == 0 {
+            return;
+        }
+        let before = self.items_since_epoch.fetch_add(n, Ordering::Relaxed);
+        if before + n >= self.epoch_item_target {
+            self.items_since_epoch.store(0, Ordering::Relaxed);
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn extend_iter(&self, items: impl IntoIterator<Item = (u64, u64, V)>) -> Result<()> {
+        let mut stage: Vec<Staged<V>> = Vec::with_capacity(STORE_STAGE);
+        let mut iter = items.into_iter();
+        loop {
+            stage.clear();
+            while stage.len() < STORE_STAGE {
+                let Some((key, label, payload)) = iter.next() else {
+                    break;
+                };
+                stage.push(Staged {
+                    shard: self.shard_of(key) as u32,
+                    seq: stage.len() as u32,
+                    key,
+                    label,
+                    payload,
+                });
+            }
+            if stage.is_empty() {
+                return Ok(());
+            }
+            // Group by (shard, key); `seq` keeps arrival order within a
+            // key so keep-first payload semantics survive the sort.
+            stage.sort_unstable_by_key(|s| (s.shard, s.key, s.seq));
+            let staged = stage.len() as u64;
+            let mut i = 0;
+            while i < stage.len() {
+                let shard = stage[i].shard;
+                let mut j = i;
+                while j < stage.len() && stage[j].shard == shard {
+                    j += 1;
+                }
+                let global = self.epoch.load(Ordering::Relaxed);
+                let mut guard = self.shards[shard as usize].lock();
+                guard.sync_epoch(global);
+                let mut k = i;
+                while k < j {
+                    let key = stage[k].key;
+                    let mut m = k;
+                    while m < j && stage[m].key == key {
+                        m += 1;
+                    }
+                    guard.ingest_run(key, &stage[k..m])?;
+                    k = m;
+                }
+                guard.maybe_evict();
+                drop(guard);
+                i = j;
+            }
+            self.note_items(staged);
+        }
+    }
+
+    /// Ingest `(key, label)` pairs with the default payload. Thread-safe:
+    /// any number of threads may call this concurrently.
+    ///
+    /// # Errors
+    /// Spill-log I/O or decode errors surfaced while restoring a spilled
+    /// key touched by this batch; items staged before the failing run are
+    /// ingested, the rest of the batch is dropped.
+    pub fn extend(&self, items: &[(u64, u64)]) -> Result<()> {
+        self.extend_iter(items.iter().map(|&(key, label)| (key, label, V::default())))
+    }
+
+    /// Ingest `(key, label, payload)` triples (keep-first/merge payload
+    /// semantics per the sketch's payload type, exactly as a standalone
+    /// sketch would apply them in arrival order).
+    ///
+    /// # Errors
+    /// As [`SketchStore::extend`].
+    pub fn extend_with(&self, items: &[(u64, u64, V)]) -> Result<()> {
+        self.extend_iter(items.iter().copied())
+    }
+
+    /// Point query: the distinct estimate for `key`, or `None` if the
+    /// store has never seen it. Hot keys answer from the front cache (at
+    /// most one epoch stale); everything else folds authoritative state.
+    ///
+    /// # Errors
+    /// As [`SketchStore::extend`] (querying a spilled key restores it).
+    pub fn estimate(&self, key: u64) -> Result<Option<Estimate>> {
+        let global = self.epoch.load(Ordering::Relaxed);
+        let mut guard = self.shards[self.shard_of(key)].lock();
+        guard.sync_epoch(global);
+        let out = guard.estimate(key);
+        guard.maybe_evict();
+        out
+    }
+
+    /// Exact items observed for `key` (always authoritative, never the
+    /// front cache), or `None` for an unknown key.
+    ///
+    /// # Errors
+    /// As [`SketchStore::estimate`].
+    pub fn items_observed(&self, key: u64) -> Result<Option<u64>> {
+        let global = self.epoch.load(Ordering::Relaxed);
+        let mut guard = self.shards[self.shard_of(key)].lock();
+        guard.sync_epoch(global);
+        let out = guard.items_observed(key);
+        guard.maybe_evict();
+        out
+    }
+
+    /// Canonical wire bytes of `key`'s sketch — bitwise identical to
+    /// `encode_sketch` of a standalone coordinated [`GtSketch`] fed the
+    /// same labels, whatever tier the key is in (a spilled key is restored
+    /// first). `None` for an unknown key.
+    ///
+    /// # Errors
+    /// As [`SketchStore::estimate`].
+    pub fn canonical_bytes(&self, key: u64) -> Result<Option<Bytes>> {
+        let global = self.epoch.load(Ordering::Relaxed);
+        let mut guard = self.shards[self.shard_of(key)].lock();
+        guard.sync_epoch(global);
+        let out = guard.canonical_bytes(key);
+        guard.maybe_evict();
+        out
+    }
+
+    /// Advance the store epoch: shards refresh hot-key front caches and
+    /// demote cooled keys on their next lock acquisition. Also advanced
+    /// automatically every [`StoreOptions::epoch_items`] ingested items.
+    pub fn advance_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Keys tracked across all tiers (resident + pinned + spilled).
+    pub fn key_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().index.len()).sum()
+    }
+
+    /// Budgeted resident bytes across all shards (live packed slots plus
+    /// pinned sketch heap).
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().resident_bytes).sum()
+    }
+
+    /// The configured total byte budget.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// Shard count (power of two, sized from [`effective_workers`] unless
+    /// overridden).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared per-key sketch configuration.
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// The shared master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Directory holding the per-shard spill logs.
+    pub fn spill_dir(&self) -> &Path {
+        &self.spill_dir
+    }
+
+    /// Consistent-cut metrics: every shard lock is acquired (in index
+    /// order) before the first counter is read, per the metrics
+    /// lock-ordering rule — cross-shard sums in the snapshot are exact.
+    pub fn metrics_snapshot(&self) -> StoreMetricsSnapshot {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let mut snap = StoreMetricsSnapshot {
+            shards: guards.len() as u64,
+            budget_bytes: self.byte_budget as u64,
+            ..StoreMetricsSnapshot::default()
+        };
+        for g in &guards {
+            snap.absorb_tally(&g.tally);
+            snap.keys += g.index.len() as u64;
+            snap.resident_keys += g.resident_keys;
+            snap.pinned_keys += g.pinned_keys;
+            snap.spilled_keys += g.spilled_keys;
+            snap.resident_bytes += g.resident_bytes as u64;
+            snap.arena_bytes += g.arena.allocated_bytes() as u64;
+        }
+        snap
+    }
+}
+
+impl<V: StorePayload> Drop for SketchStore<V> {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            let guard = shard.lock();
+            let _ = std::fs::remove_file(guard.spill.path());
+        }
+        if self.owns_spill_dir {
+            let _ = std::fs::remove_dir(&self.spill_dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_core::DistinctSketch;
+    use gt_hash::fold61;
+
+    fn cfg() -> SketchConfig {
+        SketchConfig::new(0.2, 0.2).unwrap()
+    }
+
+    fn tiny_cfg() -> SketchConfig {
+        SketchConfig::from_shape(0.3, 0.3, 16, 5, gt_hash::HashFamilyKind::Pairwise).unwrap()
+    }
+
+    fn opts(budget: usize) -> StoreOptions {
+        StoreOptions::default()
+            .with_shards(2)
+            .with_byte_budget(budget)
+            .with_epoch_items(0)
+    }
+
+    #[test]
+    fn per_key_state_matches_standalone_sketches() {
+        let config = cfg();
+        let store = DistinctStore::new(&config, 11, opts(64 << 20)).unwrap();
+        let keys = 17u64;
+        let mut items = Vec::new();
+        for i in 0..20_000u64 {
+            items.push((i % keys, fold61(i * 31)));
+        }
+        store.extend(&items).unwrap();
+        for key in 0..keys {
+            let mut standalone = DistinctSketch::new(&config, 11);
+            standalone.extend_labels(items.iter().filter(|&&(k, _)| k == key).map(|&(_, l)| l));
+            let expect = encode_sketch(&standalone);
+            let got = store.canonical_bytes(key).unwrap().unwrap();
+            assert_eq!(got, expect, "key {key}");
+            assert_eq!(
+                store.items_observed(key).unwrap().unwrap(),
+                standalone.items_observed()
+            );
+            assert_eq!(
+                store.estimate(key).unwrap().unwrap().value,
+                standalone.estimate_distinct().value
+            );
+        }
+        assert_eq!(store.key_count(), keys as usize);
+        assert!(store.estimate(keys + 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn eviction_restores_bitwise_and_respects_budget() {
+        let config = tiny_cfg();
+        // A budget small enough that most of 600 keys cannot stay
+        // resident, forcing evict/restore cycles mid-stream.
+        let store = DistinctStore::new(&config, 5, opts(16 << 10).with_hot_threshold(0)).unwrap();
+        let keys = 600u64;
+        let mut items = Vec::new();
+        for round in 0..6u64 {
+            for key in 0..keys {
+                for j in 0..4u64 {
+                    items.push((key, fold61(key * 1000 + round * 10 + j)));
+                }
+            }
+        }
+        store.extend(&items).unwrap();
+        let snap = store.metrics_snapshot();
+        assert!(snap.evictions > 0, "budget never forced an eviction");
+        assert!(snap.restores > 0, "revisited keys never restored");
+        assert!(
+            snap.resident_bytes <= snap.budget_bytes,
+            "resident {} exceeds budget {}",
+            snap.resident_bytes,
+            snap.budget_bytes
+        );
+        // Every key still matches its standalone oracle exactly.
+        for key in (0..keys).step_by(41) {
+            let mut standalone = DistinctSketch::new(&config, 5);
+            standalone.extend_labels(items.iter().filter(|&&(k, _)| k == key).map(|&(_, l)| l));
+            assert_eq!(
+                store.canonical_bytes(key).unwrap().unwrap(),
+                encode_sketch(&standalone),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_keys_pin_and_front_cache_serves_queries() {
+        let config = cfg();
+        let store = DistinctStore::new(&config, 9, opts(64 << 20).with_hot_threshold(64)).unwrap();
+        let mut items = Vec::new();
+        for i in 0..5_000u64 {
+            items.push((7, fold61(i)));
+            if i % 50 == 0 {
+                items.push((i, fold61(i)));
+            }
+        }
+        store.extend(&items).unwrap();
+        let snap = store.metrics_snapshot();
+        assert!(snap.pins >= 1, "hot key never pinned");
+        assert_eq!(snap.pinned_keys, 1);
+        // Epoch boundary refreshes the front; repeated queries hit it.
+        store.advance_epoch();
+        let first = store.estimate(7).unwrap().unwrap();
+        for _ in 0..5 {
+            assert_eq!(store.estimate(7).unwrap().unwrap(), first);
+        }
+        let snap = store.metrics_snapshot();
+        assert!(snap.front_hits >= 5, "front cache never served a query");
+        // The authoritative bytes still match a standalone sketch.
+        let mut standalone = DistinctSketch::new(&config, 9);
+        standalone.extend_labels(items.iter().filter(|&&(k, _)| k == 7).map(|&(_, l)| l));
+        assert_eq!(
+            store.canonical_bytes(7).unwrap().unwrap(),
+            encode_sketch(&standalone)
+        );
+    }
+
+    #[test]
+    fn cooled_hot_keys_demote_at_epoch_boundaries() {
+        let config = tiny_cfg();
+        let store = DistinctStore::new(&config, 3, opts(64 << 20).with_hot_threshold(32)).unwrap();
+        let hot: Vec<(u64, u64)> = (0..200u64).map(|i| (1, fold61(i))).collect();
+        store.extend(&hot).unwrap();
+        assert_eq!(store.metrics_snapshot().pinned_keys, 1);
+        // Two quiet epochs: the key's per-epoch traffic is zero, so the
+        // first sync after the boundary demotes it.
+        store.advance_epoch();
+        store.extend(&[(2, fold61(9_999))]).unwrap();
+        store.advance_epoch();
+        store.extend(&[(2, fold61(9_998))]).unwrap();
+        let snap = store.metrics_snapshot();
+        assert_eq!(snap.pinned_keys, 0, "cooled key stayed pinned");
+        assert!(snap.demotions >= 1);
+        // State survived the demotion bit-for-bit.
+        let mut standalone = DistinctSketch::new(&config, 3);
+        standalone.extend_labels(hot.iter().map(|&(_, l)| l));
+        assert_eq!(
+            store.canonical_bytes(1).unwrap().unwrap(),
+            encode_sketch(&standalone)
+        );
+    }
+
+    #[test]
+    fn payload_store_matches_standalone_merging_sketch() {
+        let config = tiny_cfg();
+        let store = SketchStore::<u64>::new(&config, 13, opts(64 << 20)).unwrap();
+        let mut items = Vec::new();
+        for i in 0..3_000u64 {
+            // Duplicate labels with distinct payloads exercise the
+            // keep-first reconciliation through the delta replay.
+            items.push((i % 5, fold61(i % 400), i));
+        }
+        store.extend_with(&items).unwrap();
+        for key in 0..5u64 {
+            let mut standalone = GtSketch::<u64>::new(&config, 13);
+            for &(k, l, p) in &items {
+                if k == key {
+                    standalone.insert_merging_with(l, p);
+                }
+            }
+            assert_eq!(
+                store.canonical_bytes(key).unwrap().unwrap(),
+                encode_sketch(&standalone),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_keyed_ingest_matches_sequential() {
+        let config = tiny_cfg();
+        let store = DistinctStore::new(&config, 21, opts(64 << 20)).unwrap();
+        let threads = 4usize;
+        let per_thread = 4_000u64;
+        crossbeam::scope(|scope| {
+            for t in 0..threads as u64 {
+                let store = &store;
+                scope.spawn(move |_| {
+                    let items: Vec<(u64, u64)> = (0..per_thread)
+                        .map(|i| ((i * 7 + t) % 97, fold61(t * per_thread + i)))
+                        .collect();
+                    store.extend(&items).unwrap();
+                });
+            }
+        })
+        .unwrap();
+        // The store saw every item exactly once (count/ordering invariant,
+        // no wall-clock assertions per the de-flake rule).
+        let snap = store.metrics_snapshot();
+        assert_eq!(snap.items, threads as u64 * per_thread);
+        // Each key's state equals a standalone sketch over that key's
+        // labels — label sets are interleaving-independent.
+        for key in (0..97u64).step_by(13) {
+            let mut standalone = DistinctSketch::new(&config, 21);
+            for t in 0..threads as u64 {
+                standalone.extend_labels(
+                    (0..per_thread)
+                        .filter(|i| (i * 7 + t) % 97 == key)
+                        .map(|i| fold61(t * per_thread + i)),
+                );
+            }
+            assert_eq!(
+                store.canonical_bytes(key).unwrap().unwrap(),
+                encode_sketch(&standalone),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_tiers_sum_to_key_count() {
+        let config = tiny_cfg();
+        let store = DistinctStore::new(&config, 17, opts(24 << 10)).unwrap();
+        let items: Vec<(u64, u64)> = (0..30_000u64).map(|i| (i % 900, fold61(i))).collect();
+        store.extend(&items).unwrap();
+        let snap = store.metrics_snapshot();
+        assert_eq!(
+            snap.resident_keys + snap.pinned_keys + snap.spilled_keys,
+            snap.keys
+        );
+        assert_eq!(snap.keys as usize, store.key_count());
+        assert_eq!(snap.items, items.len() as u64);
+        assert!(snap.arena_bytes > 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"keys\":900"));
+    }
+
+    #[test]
+    fn spill_files_live_in_the_configured_dir_and_are_cleaned_up() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("gt-store-cfgdir-{}", std::process::id()));
+        {
+            let store =
+                DistinctStore::new(&tiny_cfg(), 1, opts(1 << 10).with_spill_dir(&dir)).unwrap();
+            let items: Vec<(u64, u64)> = (0..5_000u64).map(|i| (i % 200, fold61(i))).collect();
+            store.extend(&items).unwrap();
+            assert!(store.metrics_snapshot().evictions > 0);
+            let logs = std::fs::read_dir(&dir).unwrap().count();
+            assert_eq!(logs, store.shard_count());
+        }
+        // Drop removed the shard logs but kept the user-provided dir.
+        assert!(dir.exists());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir(&dir).ok();
+    }
+}

@@ -76,12 +76,19 @@ pub trait WirePayload: gt_core::Payload + Send + Sync {
     fn encode(self, buf: &mut BytesMut);
     /// Read the payload back.
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
+    /// Exact bytes [`WirePayload::encode`] will append — what lets
+    /// [`encode_sketch`] pre-reserve the whole message instead of growing
+    /// the buffer entry by entry.
+    fn encoded_len(self) -> usize;
 }
 
 impl WirePayload for () {
     fn encode(self, _buf: &mut BytesMut) {}
     fn decode(_buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(())
+    }
+    fn encoded_len(self) -> usize {
+        0
     }
 }
 
@@ -91,6 +98,9 @@ impl WirePayload for u64 {
     }
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         get_varint(buf)
+    }
+    fn encoded_len(self) -> usize {
+        varint_len(self)
     }
 }
 
@@ -105,6 +115,12 @@ pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
         }
         buf.put_u8(byte | 0x80);
     }
+}
+
+/// Bytes the canonical LEB128 encoding of `v` occupies (1–10).
+pub fn varint_len(v: u64) -> usize {
+    let bits = (64 - v.leading_zeros()).max(1) as usize;
+    bits.div_ceil(7)
 }
 
 /// LEB128 varint read, **canonical encodings only**.
@@ -205,31 +221,90 @@ fn get_hash_kind(buf: &mut Bytes) -> Result<HashFamilyKind, CodecError> {
 /// assert_eq!(at_referee.estimate_distinct().value, 800.0);
 /// ```
 pub fn encode_sketch<V: WirePayload>(sketch: &GtSketch<V>) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + sketch.sample_entries() * 5);
+    // Pass 1: collect and sort every trial's entries once (one Vec with
+    // per-trial ranges, not one Vec per trial) and total the exact
+    // encoded length. The buffer is then reserved exactly — spilling
+    // millions of small sketches must not pay repeated `Vec` regrowth,
+    // and the capacity test pins `len == encoded_sketch_len`.
+    let trials = sketch.trials();
+    let mut entries: Vec<(u64, V)> = Vec::with_capacity(sketch.sample_entries());
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(trials.len());
+    for trial in trials {
+        let start = entries.len();
+        entries.extend(trial.sample_iter());
+        entries[start..].sort_unstable_by_key(|&(label, _)| label);
+        ranges.push((start, entries.len()));
+    }
+    let cfg = sketch.config();
+    let mut total = header_len(cfg);
+    for (trial, &(start, end)) in trials.iter().zip(&ranges) {
+        total += 1 + varint_len(trial.items_observed());
+        total += varint_len((end - start) as u64);
+        let mut prev = 0u64;
+        for &(label, payload) in &entries[start..end] {
+            total += varint_len(label - prev) + payload.encoded_len();
+            prev = label;
+        }
+    }
+    // Pass 2: write.
+    let mut buf = BytesMut::with_capacity(total);
     buf.put_u32(MAGIC);
     buf.put_u64(sketch.master_seed());
-    let cfg = sketch.config();
     buf.put_f64(cfg.epsilon());
     buf.put_f64(cfg.delta());
     put_varint(&mut buf, cfg.capacity() as u64);
     put_varint(&mut buf, cfg.trials() as u64);
     put_hash_kind(&mut buf, cfg.hash_kind());
-    for trial in sketch.trials() {
+    for (trial, &(start, end)) in trials.iter().zip(&ranges) {
         buf.put_u8(trial.level());
         put_varint(&mut buf, trial.items_observed());
-        let mut entries: Vec<(u64, V)> = trial.sample_iter().collect();
-        entries.sort_unstable_by_key(|&(label, _)| label);
-        put_varint(&mut buf, entries.len() as u64);
+        put_varint(&mut buf, (end - start) as u64);
         let mut prev = 0u64;
-        for &(label, _) in &entries {
+        for &(label, _) in &entries[start..end] {
             put_varint(&mut buf, label - prev);
             prev = label;
         }
-        for &(_, payload) in &entries {
+        for &(_, payload) in &entries[start..end] {
             payload.encode(&mut buf);
         }
     }
+    debug_assert_eq!(buf.len(), total, "encoded length prediction drifted");
     buf.freeze()
+}
+
+/// Fixed-size wire header length for `cfg`: magic, seed, epsilon, delta,
+/// capacity + trials varints, hash-kind tag.
+fn header_len(cfg: &gt_core::SketchConfig) -> usize {
+    let kind_len = match cfg.hash_kind() {
+        HashFamilyKind::KWise(_) | HashFamilyKind::SabotagedShift(_) => 2,
+        _ => 1,
+    };
+    4 + 8 + 8 + 8 + varint_len(cfg.capacity() as u64) + varint_len(cfg.trials() as u64) + kind_len
+}
+
+/// Exact byte length [`encode_sketch`] will produce for `sketch`, without
+/// encoding it — usable for spill-log capacity planning and asserted
+/// against the real encoder in tests.
+pub fn encoded_sketch_len<V: WirePayload>(sketch: &GtSketch<V>) -> usize {
+    let mut total = header_len(sketch.config());
+    let mut labels: Vec<u64> = Vec::new();
+    for trial in sketch.trials() {
+        total += 1 + varint_len(trial.items_observed());
+        total += varint_len(trial.sample_len() as u64);
+        labels.clear();
+        labels.extend(trial.sample_iter().map(|(label, _)| label));
+        labels.sort_unstable();
+        let mut prev = 0u64;
+        for &label in &labels {
+            total += varint_len(label - prev);
+            prev = label;
+        }
+        total += trial
+            .sample_iter()
+            .map(|(_, payload)| payload.encoded_len())
+            .sum::<usize>();
+    }
+    total
 }
 
 /// Deserialize and validate a sketch message.
@@ -402,6 +477,56 @@ mod tests {
             .iter()
             .map(|t| t.sample_iter().map(|(k, _)| k).collect())
             .collect()
+    }
+
+    #[test]
+    fn varint_len_matches_the_encoder() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn encode_reserves_the_exact_length_up_front() {
+        // The predicted length must equal the produced length for empty,
+        // populated, and payload-carrying sketches — that equality is what
+        // guarantees the pre-reserved buffer never regrows while spilling
+        // millions of small sketches.
+        let empty = DistinctSketch::new(&cfg(), 3);
+        assert_eq!(encode_sketch(&empty).len(), encoded_sketch_len(&empty));
+
+        let mut small = DistinctSketch::new(&cfg(), 3);
+        small.extend_labels((0..50u64).map(gt_hash::fold61));
+        assert_eq!(encode_sketch(&small).len(), encoded_sketch_len(&small));
+
+        let mut large = DistinctSketch::new(&cfg(), 3);
+        large.extend_labels((0..60_000u64).map(gt_hash::fold61));
+        assert_eq!(encode_sketch(&large).len(), encoded_sketch_len(&large));
+
+        let mut payload = GtSketch::<u64>::new(&cfg(), 3);
+        for i in 0..5_000u64 {
+            payload.insert_merging_with(gt_hash::fold61(i), i * 977);
+        }
+        assert_eq!(encode_sketch(&payload).len(), encoded_sketch_len(&payload));
+
+        // Two-byte hash-kind tags go through the same header accounting.
+        let kwise =
+            gt_core::SketchConfig::from_shape(0.2, 0.2, 16, 5, HashFamilyKind::KWise(4)).unwrap();
+        let mut s = DistinctSketch::new(&kwise, 9);
+        s.extend_labels((0..2_000u64).map(gt_hash::fold61));
+        assert_eq!(encode_sketch(&s).len(), encoded_sketch_len(&s));
     }
 
     #[test]

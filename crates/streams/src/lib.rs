@@ -47,8 +47,8 @@ pub mod transport;
 pub mod workload;
 
 pub use codec::{
-    decode_sketch, decode_sketch_into, encode_sketch, payload_fingerprint, DecodeScratch,
-    WirePayload,
+    decode_sketch, decode_sketch_into, encode_sketch, encoded_sketch_len, payload_fingerprint,
+    varint_len, CodecError, DecodeScratch, WirePayload,
 };
 pub use collector::{collect_once, CollectionReport, Collector, PartyAttempts, RetryPolicy};
 pub use faults::{run_with_faults, FateCounts, FaultReport, FaultSpec, MessageFate};

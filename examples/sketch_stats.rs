@@ -59,4 +59,28 @@ fn main() {
         "referee union metrics: {}",
         referee.union_metrics().to_json()
     );
+
+    // The keyed multi-tenant store: per-key sketches behind one sharded
+    // ingest path, with a byte budget tight enough here that eviction,
+    // spill, and restore all fire. Its snapshot is a consistent cut —
+    // the three tiers always sum to the key count exactly.
+    let store = gt_sketch::store::DistinctStore::new(
+        &config,
+        master_seed,
+        gt_sketch::store::StoreOptions::default()
+            .with_byte_budget(256 << 10)
+            .with_hot_threshold(128),
+    )
+    .expect("store construction");
+    let keyed: Vec<(u64, u64)> = (0..120_000u64)
+        .map(|i| (i % 500, gt_sketch::fold61(i)))
+        .collect();
+    store.extend(&keyed).expect("keyed ingest");
+    for key in (0..500).step_by(7) {
+        store.estimate(key).expect("keyed query");
+    }
+    let s = store.metrics_snapshot();
+    println!("\n--- keyed store (500 tenants, 256 KiB budget) ---\n{s}");
+    println!("store as JSON: {}", s.to_json());
+    assert_eq!(s.resident_keys + s.pinned_keys + s.spilled_keys, s.keys);
 }
