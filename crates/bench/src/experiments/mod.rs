@@ -22,6 +22,7 @@ pub mod e18_concurrent;
 pub mod e19_union;
 pub mod e20_hash_kernel;
 pub mod e21_keyed_store;
+pub mod e22_expression;
 
 use crate::table::Table;
 
@@ -149,6 +150,12 @@ pub const REGISTRY: &[Experiment] = &[
         description:
             "keyed multi-tenant store: Zipf keys under a byte budget, evict/restore (BENCH_store.json)",
         run: e21_keyed_store::run,
+    },
+    Experiment {
+        id: "e22",
+        description:
+            "set-expression queries at the referee: error vs depth and overlap (BENCH_expr.json)",
+        run: e22_expression::run,
     },
 ];
 

@@ -46,6 +46,7 @@ pub mod compact;
 pub mod concurrent;
 pub mod error;
 pub mod estimate;
+pub mod expr;
 pub mod merge;
 pub mod metrics;
 pub mod parallel;
@@ -65,6 +66,7 @@ pub use compact::harmonize;
 pub use concurrent::{ConcurrentSketch, ShardedSketch, SketchSnapshot, SketchWriter, WRITER_BUF};
 pub use error::{Result, SketchError};
 pub use estimate::{median_f64, quantile_f64, relative_error, Estimate};
+pub use expr::{eval_expr, ExprContext, ExpressionEstimate, JaccardEstimate, SetExpr};
 pub use merge::{merge_all, merge_tree, Mergeable, MERGE_TREE_CROSSOVER};
 pub use metrics::{
     ConcurrentMetrics, ConcurrentMetricsSnapshot, InsertTally, MetricsSnapshot, PropagationCause,

@@ -13,8 +13,9 @@
 //! KMV/Theta sketches inherit exactly this trick; experiment E12 measures
 //! the accuracy.
 
-use crate::error::{Result, SketchError};
+use crate::error::Result;
 use crate::estimate::median_f64;
+use crate::expr::{ExprContext, SetExpr};
 use crate::sketch::GtSketch;
 use crate::trial::Payload;
 
@@ -32,6 +33,12 @@ pub struct SimilarityEstimate {
     pub difference_b_minus_a: f64,
     /// Estimated Jaccard similarity `|A ∩ B| / |A ∪ B|` (ratio estimator,
     /// computed per trial then median'd — not the ratio of the medians).
+    ///
+    /// Convention: a trial whose aligned union sample is empty
+    /// contributes `0.0` to the median instead of being dropped, so every
+    /// trial votes and the estimate stays consistent with the per-trial
+    /// `union`/`intersection` medians (see
+    /// [`crate::expr::JaccardEstimate`]).
     pub jaccard: f64,
 }
 
@@ -51,74 +58,38 @@ pub struct SimilarityEstimate {
 /// ```
 ///
 /// # Errors
-/// [`SketchError::SeedMismatch`] / [`SketchError::ConfigMismatch`] when the
-/// sketches are not coordinated (different seeds or shapes).
+/// [`SketchError::SeedMismatch`](crate::error::SketchError::SeedMismatch) /
+/// [`SketchError::ConfigMismatch`](crate::error::SketchError::ConfigMismatch)
+/// when the sketches are not coordinated (different seeds or shapes).
 pub fn similarity<V: Payload>(a: &GtSketch<V>, b: &GtSketch<V>) -> Result<SimilarityEstimate> {
-    if a.master_seed() != b.master_seed() {
-        return Err(SketchError::SeedMismatch);
-    }
-    if a.config() != b.config() {
-        return Err(SketchError::ConfigMismatch {
-            detail: format!("{:?} vs {:?}", a.config(), b.config()),
-        });
-    }
-    let trials = a.trials().len();
-    let mut inter = Vec::with_capacity(trials);
-    let mut union = Vec::with_capacity(trials);
-    let mut diff_ab = Vec::with_capacity(trials);
-    let mut diff_ba = Vec::with_capacity(trials);
-    let mut jaccard = Vec::with_capacity(trials);
+    let ctx = ExprContext::new(&[a, b])?;
+    pairwise(&ctx, 0, 1)
+}
 
-    for (ta, tb) in a.trials().iter().zip(b.trials().iter()) {
-        // Align both trials to the common level, cloning only a trial
-        // that actually needs subsampling (equal levels are the common
-        // case and cost nothing).
-        let l = ta.level().max(tb.level());
-        fn align<V: Payload>(
-            t: &crate::trial::CoordinatedTrial<V>,
-            l: u8,
-        ) -> std::borrow::Cow<'_, crate::trial::CoordinatedTrial<V>> {
-            if t.level() < l {
-                let mut owned = t.clone();
-                owned.subsample_to_level(l);
-                std::borrow::Cow::Owned(owned)
-            } else {
-                std::borrow::Cow::Borrowed(t)
-            }
-        }
-        let ta = align(ta, l);
-        let tb = align(tb, l);
-        let scale = 2f64.powi(l as i32);
-
-        let mut n_inter = 0usize;
-        for (label, _) in ta.sample_iter() {
-            if tb.contains_label(label) {
-                n_inter += 1;
-            }
-        }
-        let n_a = ta.sample_len();
-        let n_b = tb.sample_len();
-        let n_union = n_a + n_b - n_inter;
-
-        inter.push(n_inter as f64 * scale);
-        union.push(n_union as f64 * scale);
-        diff_ab.push((n_a - n_inter) as f64 * scale);
-        diff_ba.push((n_b - n_inter) as f64 * scale);
-        if n_union > 0 {
-            jaccard.push(n_inter as f64 / n_union as f64);
-        }
-    }
-
+/// The depth-1 special case of the expression engine: all five pairwise
+/// quantities for operands `i` and `j` of one shared [`ExprContext`].
+///
+/// Every expression references exactly `{i, j}`, so each trial aligns to
+/// `max(level_i, level_j)` — the same rule the pre-engine implementation
+/// applied — and the per-trial counts (hence the medians) are
+/// value-identical to it.
+fn pairwise<V: Payload>(
+    ctx: &ExprContext<'_, V>,
+    i: usize,
+    j: usize,
+) -> Result<SimilarityEstimate> {
+    let (a, b) = (SetExpr::leaf(i), SetExpr::leaf(j));
+    let mut inter = ctx.per_trial_estimates(&a.clone().intersect(b.clone()))?;
+    let mut union = ctx.per_trial_estimates(&a.clone().union(b.clone()))?;
+    let mut diff_ab = ctx.per_trial_estimates(&a.clone().difference(b.clone()))?;
+    let mut diff_ba = ctx.per_trial_estimates(&b.clone().difference(a.clone()))?;
+    let jaccard = ctx.eval_jaccard(&a, &b)?;
     Ok(SimilarityEstimate {
         intersection: median_f64(&mut inter),
         union: median_f64(&mut union),
         difference_a_minus_b: median_f64(&mut diff_ab),
         difference_b_minus_a: median_f64(&mut diff_ba),
-        jaccard: if jaccard.is_empty() {
-            0.0
-        } else {
-            median_f64(&mut jaccard)
-        },
+        jaccard: jaccard.jaccard,
     })
 }
 
@@ -126,23 +97,37 @@ pub fn similarity<V: Payload>(a: &GtSketch<V>, b: &GtSketch<V>) -> Result<Simila
 /// `k × k` symmetric matrix (diagonal 1.0 for non-empty sketches).
 ///
 /// Useful for clustering streams by content (which monitors see the same
-/// traffic?). Cost: `O(k² · trials · capacity)` at the referee.
+/// traffic?). Runs on one shared [`ExprContext`], so each sketch's trials
+/// are scanned and sorted **once** — the per-pair work is just the
+/// common-level filter and sorted-merge counting, not the clone +
+/// re-subsample per pair the pre-engine implementation paid. Results are
+/// value-identical to calling [`similarity`] per pair (each pair still
+/// aligns to its own `max(l_i, l_j)` per trial).
 ///
 /// # Errors
-/// Fails on the first uncoordinated pair encountered.
+/// Fails when any pair of members is uncoordinated.
 pub fn jaccard_matrix<V: Payload>(sketches: &[&GtSketch<V>]) -> Result<Vec<Vec<f64>>> {
     let k = sketches.len();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let ctx = ExprContext::new(sketches)?;
     let mut matrix = vec![vec![0.0; k]; k];
+    // Indexed loops: each pair writes the two mirrored cells (i, j) and
+    // (j, i), which no row iterator can borrow at once.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..k {
         matrix[i][i] = if sketches[i].sample_entries() > 0 {
             1.0
         } else {
             0.0
         };
-        for j in (i + 1)..k {
-            let sim = similarity(sketches[i], sketches[j])?;
-            matrix[i][j] = sim.jaccard;
-            matrix[j][i] = sim.jaccard;
+        for j in i + 1..k {
+            let jac = ctx
+                .eval_jaccard(&SetExpr::leaf(i), &SetExpr::leaf(j))?
+                .jaccard;
+            matrix[i][j] = jac;
+            matrix[j][i] = jac;
         }
     }
     Ok(matrix)
@@ -151,6 +136,7 @@ pub fn jaccard_matrix<V: Payload>(sketches: &[&GtSketch<V>]) -> Result<Vec<Vec<f
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::SketchError;
     use crate::params::SketchConfig;
     use crate::sketch::DistinctSketch;
 
@@ -284,5 +270,123 @@ mod tests {
         assert_eq!(sim.intersection, 0.0);
         assert_eq!(sim.union, 300.0);
         assert_eq!(sim.difference_b_minus_a, 300.0);
+    }
+
+    /// Mirror of the engine's per-trial Jaccard, computed from the public
+    /// trial state with the documented convention (empty-union trial →
+    /// 0.0). Used by the regression tests below as an independent oracle.
+    fn expected_jaccard<V: crate::trial::Payload>(
+        a: &GtSketch<V>,
+        b: &GtSketch<V>,
+    ) -> (f64, usize) {
+        use gt_hash::LevelHasher;
+        let mut per_trial = Vec::new();
+        let mut empties = 0usize;
+        for (ta, tb) in a.trials().iter().zip(b.trials().iter()) {
+            let l = ta.level().max(tb.level());
+            let sa: std::collections::BTreeSet<u64> = ta
+                .sample_iter()
+                .map(|(x, _)| x)
+                .filter(|&x| ta.hasher().level(x) >= l)
+                .collect();
+            let sb: std::collections::BTreeSet<u64> = tb
+                .sample_iter()
+                .map(|(x, _)| x)
+                .filter(|&x| tb.hasher().level(x) >= l)
+                .collect();
+            let inter = sa.intersection(&sb).count();
+            let union = sa.len() + sb.len() - inter;
+            if union == 0 {
+                empties += 1;
+                per_trial.push(0.0);
+            } else {
+                per_trial.push(inter as f64 / union as f64);
+            }
+        }
+        (median_f64(&mut per_trial), empties)
+    }
+
+    #[test]
+    fn empty_union_trials_count_as_zero_in_the_jaccard_median() {
+        // Regression for the empty-union bias: capacity 2 forces deep
+        // levels on identical 1k-label streams, so some trials end with
+        // an empty aligned union while others see the full J = 1 signal.
+        // The old code dropped the empty trials from the median (pulling
+        // it toward the populated trials' 1.0); the convention now is
+        // that every trial votes, empty-union trials voting 0.0.
+        let shape =
+            SketchConfig::from_shape(0.5, 0.01, 2, 65, gt_hash::HashFamilyKind::Pairwise).unwrap();
+        let mut found_mixed = false;
+        for seed in 0..20u64 {
+            let mut a = DistinctSketch::new(&shape, seed);
+            let mut b = DistinctSketch::new(&shape, seed);
+            a.extend_labels((0..1_000).map(gt_hash::fold61));
+            b.extend_labels((0..1_000).map(gt_hash::fold61));
+            let (want, empties) = expected_jaccard(&a, &b);
+            let sim = similarity(&a, &b).unwrap();
+            assert_eq!(sim.jaccard, want, "seed {seed} ({empties} empty trials)");
+            if empties > 0 && empties < shape.trials() {
+                found_mixed = true;
+                // With identical streams every populated trial votes 1.0,
+                // so any deviation below 1.0 proves the empty trials were
+                // not silently dropped.
+                if 2 * empties > shape.trials() {
+                    assert_eq!(sim.jaccard, 0.0, "seed {seed}");
+                } else {
+                    assert_eq!(sim.jaccard, 1.0, "seed {seed}");
+                }
+            }
+        }
+        assert!(
+            found_mixed,
+            "test must exercise a mix of empty and populated trials"
+        );
+    }
+
+    #[test]
+    fn near_empty_and_disjoint_sketches_follow_the_convention() {
+        // Disjoint streams under heavy subsampling: populated trials vote
+        // 0.0 (no intersection witnesses) and empty trials vote 0.0 by
+        // convention, so the median is exactly 0 either way.
+        let shape =
+            SketchConfig::from_shape(0.5, 0.01, 2, 33, gt_hash::HashFamilyKind::Pairwise).unwrap();
+        let mut a = DistinctSketch::new(&shape, 3);
+        let mut b = DistinctSketch::new(&shape, 3);
+        a.extend_labels((0..2_000).map(gt_hash::fold61));
+        b.extend_labels((2_000..4_000).map(gt_hash::fold61));
+        let sim = similarity(&a, &b).unwrap();
+        assert_eq!(sim.jaccard, 0.0);
+        let (want, _) = expected_jaccard(&a, &b);
+        assert_eq!(sim.jaccard, want);
+        // Near-empty: single shared label, level skew from one big side.
+        let cfg = cfg();
+        let mut big = DistinctSketch::new(&cfg, 5);
+        let mut tiny = DistinctSketch::new(&cfg, 5);
+        big.extend_labels((0..80_000).map(gt_hash::fold61));
+        tiny.insert(gt_hash::fold61(7));
+        let sim = similarity(&big, &tiny).unwrap();
+        let (want, _) = expected_jaccard(&big, &tiny);
+        assert_eq!(sim.jaccard, want);
+    }
+
+    #[test]
+    fn jaccard_matrix_matches_per_pair_similarity_exactly() {
+        // Regression for the O(k²) re-clone fix: the one-context matrix
+        // must be value-identical to calling similarity() per pair,
+        // including under level skew (one giant member) and an empty one.
+        let a = sketch_of(0..1_000, 7);
+        let b = sketch_of(500..1_500, 7);
+        let c = sketch_of(0..90_000, 7);
+        let empty = DistinctSketch::new(&cfg(), 7);
+        let members: [&DistinctSketch; 4] = [&a, &b, &c, &empty];
+        let m = jaccard_matrix(&members).unwrap();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let sim = similarity(members[i], members[j]).unwrap();
+                assert_eq!(m[i][j], sim.jaccard, "pair ({i}, {j})");
+                assert_eq!(m[j][i], sim.jaccard, "pair ({j}, {i})");
+            }
+        }
+        assert!(jaccard_matrix::<()>(&[]).unwrap().is_empty());
     }
 }

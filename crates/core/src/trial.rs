@@ -261,6 +261,25 @@ impl<V: Payload> CoordinatedTrial<V> {
         self.sample.contains(label)
     }
 
+    /// The sample as a label-sorted `Vec` of `(label, hash level)` pairs —
+    /// the precomputed view the expression engine aligns trials with.
+    ///
+    /// Because the sample invariant is `S = {x : lvl(x) ≥ level}`, the
+    /// subset of this view with `hash level ≥ l` for any `l ≥ level` is
+    /// *exactly* the sample this trial would hold after
+    /// [`CoordinatedTrial::subsample_to_level`]`(l)` — so one pass over
+    /// the sample (hashing each entry once) supports alignment to every
+    /// later-chosen common level with no cloning or re-subsampling.
+    pub fn leveled_sample(&self) -> Vec<(u64, u8)> {
+        let mut view: Vec<(u64, u8)> = self
+            .sample
+            .iter()
+            .map(|(label, _)| (label, self.hasher.level(label)))
+            .collect();
+        view.sort_unstable_by_key(|&(label, _)| label);
+        view
+    }
+
     /// Bytes of heap storage used by the sample (space accounting).
     pub fn heap_bytes(&self) -> usize {
         self.sample.heap_bytes()

@@ -31,6 +31,8 @@ pub(crate) struct ShardTally {
     pub spilled_bytes: u64,
     pub restores: u64,
     pub restored_bytes: u64,
+    pub compactions: u64,
+    pub reclaimed_bytes: u64,
     pub queries: u64,
 }
 
@@ -73,6 +75,11 @@ pub struct StoreMetricsSnapshot {
     pub restores: u64,
     /// Bytes read back and decoded during restores.
     pub restored_bytes: u64,
+    /// Spill-log compaction passes (a shard crossed its dead-fraction
+    /// threshold and rewrote the live records).
+    pub compactions: u64,
+    /// Dead spill-log bytes reclaimed by compaction passes.
+    pub reclaimed_bytes: u64,
     /// Point queries served (all tiers).
     pub queries: u64,
     /// Keys currently tracked (resident + pinned + spilled).
@@ -106,6 +113,8 @@ impl StoreMetricsSnapshot {
         self.spilled_bytes += t.spilled_bytes;
         self.restores += t.restores;
         self.restored_bytes += t.restored_bytes;
+        self.compactions += t.compactions;
+        self.reclaimed_bytes += t.reclaimed_bytes;
         self.queries += t.queries;
     }
 
@@ -118,7 +127,8 @@ impl StoreMetricsSnapshot {
                 "\"delta_replayed\":{},\"promotions\":{},\"pins\":{},",
                 "\"demotions\":{},\"front_hits\":{},\"front_refreshes\":{},",
                 "\"evictions\":{},\"spilled_bytes\":{},\"restores\":{},",
-                "\"restored_bytes\":{},\"queries\":{},\"keys\":{},",
+                "\"restored_bytes\":{},\"compactions\":{},",
+                "\"reclaimed_bytes\":{},\"queries\":{},\"keys\":{},",
                 "\"resident_keys\":{},\"pinned_keys\":{},\"spilled_keys\":{},",
                 "\"resident_bytes\":{},\"arena_bytes\":{},\"budget_bytes\":{}}}"
             ),
@@ -136,6 +146,8 @@ impl StoreMetricsSnapshot {
             self.spilled_bytes,
             self.restores,
             self.restored_bytes,
+            self.compactions,
+            self.reclaimed_bytes,
             self.queries,
             self.keys,
             self.resident_keys,
@@ -167,14 +179,16 @@ impl fmt::Display for StoreMetricsSnapshot {
         )?;
         writeln!(
             f,
-            "memory: {} resident / {} budget bytes ({} arena), {} evictions ({} bytes spilled), {} restores ({} bytes)",
+            "memory: {} resident / {} budget bytes ({} arena), {} evictions ({} bytes spilled), {} restores ({} bytes), {} compactions ({} bytes reclaimed)",
             self.resident_bytes,
             self.budget_bytes,
             self.arena_bytes,
             self.evictions,
             self.spilled_bytes,
             self.restores,
-            self.restored_bytes
+            self.restored_bytes,
+            self.compactions,
+            self.reclaimed_bytes
         )
     }
 }
@@ -228,6 +242,8 @@ mod tests {
             "spilled_bytes",
             "restores",
             "restored_bytes",
+            "compactions",
+            "reclaimed_bytes",
             "queries",
             "keys",
             "resident_keys",

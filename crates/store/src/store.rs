@@ -569,6 +569,8 @@ impl<V: StorePayload> ShardState<V> {
 
     /// Restore a spilled key into a fresh packed slot, bitwise-identically
     /// (the canonical codec enforces seed/config and round-trips exactly).
+    /// The key's log range is dead afterwards; when enough of the log is
+    /// dead, compact it in the same breath.
     fn restore(&mut self, key: u64) -> Result<()> {
         let KeyState::Spilled { offset, len } = self.index[&key].state else {
             return Ok(());
@@ -581,6 +583,42 @@ impl<V: StorePayload> ShardState<V> {
         self.resident_keys += 1;
         self.tally.restores += 1;
         self.tally.restored_bytes += u64::from(len);
+        self.spill.note_dead(len);
+        if self.spill.should_compact() {
+            self.compact_spill()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite the spill log to hold only the still-spilled keys' records
+    /// and point their index entries at the new offsets. Restores stay
+    /// bitwise-identical across the move: the records themselves are
+    /// copied verbatim, only their offsets change.
+    fn compact_spill(&mut self) -> Result<()> {
+        let mut keys: Vec<u64> = Vec::with_capacity(self.spilled_keys as usize);
+        let mut live: Vec<(u64, u32)> = Vec::with_capacity(self.spilled_keys as usize);
+        for (&key, entry) in &self.index {
+            if let KeyState::Spilled { offset, len } = entry.state {
+                keys.push(key);
+                live.push((offset, len));
+            }
+        }
+        // `compact` sorts by offset; offsets are unique, so sorting the
+        // keys by the same offset keeps the two vectors aligned.
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by_key(|&i| live[i].0);
+        let keys: Vec<u64> = order.iter().map(|&i| keys[i]).collect();
+        let mut live: Vec<(u64, u32)> = order.iter().map(|&i| live[i]).collect();
+
+        let reclaimed = self.spill.compact(&mut live)?;
+        for (key, &(offset, len)) in keys.iter().zip(&live) {
+            self.index
+                .get_mut(key)
+                .expect("compacted key vanished")
+                .state = KeyState::Spilled { offset, len };
+        }
+        self.tally.compactions += 1;
+        self.tally.reclaimed_bytes += reclaimed;
         Ok(())
     }
 
@@ -883,7 +921,7 @@ impl<V: StorePayload> SketchStore<V> {
     /// peer).
     ///
     /// # Errors
-    /// [`StoreError::Io`] if the spill directory or a shard log cannot be
+    /// [`crate::StoreError::Io`] if the spill directory or a shard log cannot be
     /// created.
     pub fn new(config: &SketchConfig, master_seed: u64, options: StoreOptions) -> Result<Self> {
         let requested = if options.shards == 0 {
@@ -1257,6 +1295,51 @@ mod tests {
                 "key {key}"
             );
         }
+    }
+
+    #[test]
+    fn spill_compaction_reclaims_bytes_and_keeps_restores_bitwise() {
+        let config = tiny_cfg();
+        // Tight budget + many rounds of key revisits: every revisit of a
+        // spilled key restores it (killing its log record) and the next
+        // budget squeeze spills it again (appending a new one), so dead
+        // bytes accumulate until the dead-fraction threshold fires.
+        let store = DistinctStore::new(&config, 5, opts(16 << 10).with_hot_threshold(0)).unwrap();
+        let keys = 600u64;
+        let mut items = Vec::new();
+        for round in 0..10u64 {
+            let mut batch = Vec::new();
+            for key in 0..keys {
+                for j in 0..3u64 {
+                    batch.push((key, fold61(key * 1000 + round * 10 + j)));
+                }
+            }
+            store.extend(&batch).unwrap();
+            items.extend(batch);
+        }
+        let snap = store.metrics_snapshot();
+        assert!(snap.restores > 0, "churn never restored a key");
+        assert!(
+            snap.compactions > 0,
+            "dead fraction never triggered compaction"
+        );
+        assert!(snap.reclaimed_bytes > 0, "compaction reclaimed nothing");
+        assert!(
+            snap.reclaimed_bytes <= snap.spilled_bytes,
+            "cannot reclaim more than was ever spilled"
+        );
+        // Compaction moved records; every key — spilled or resident —
+        // still round-trips bitwise-identically to its standalone oracle.
+        for key in (0..keys).step_by(29) {
+            let mut standalone = DistinctSketch::new(&config, 5);
+            standalone.extend_labels(items.iter().filter(|&&(k, _)| k == key).map(|&(_, l)| l));
+            assert_eq!(
+                store.canonical_bytes(key).unwrap().unwrap(),
+                encode_sketch(&standalone),
+                "key {key}"
+            );
+        }
+        assert!(snap.to_json().contains("\"compactions\":"));
     }
 
     #[test]

@@ -56,11 +56,12 @@ pub use netflow::{FlowRecord, FlowWorkload};
 pub use oracle::StreamOracle;
 pub use party::{Party, PartyMessage};
 pub use referee::{
-    batch_size_bucket, PartialEstimate, Receipt, Referee, RefereeOf, RefereeTelemetry,
-    BATCH_BUCKET_LABELS,
+    batch_size_bucket, PartialEstimate, PartialExpressionEstimate, Receipt, Referee, RefereeOf,
+    RefereeTelemetry, BATCH_BUCKET_LABELS,
 };
 pub use runner::{
-    run_live_query_scenario, run_resilient_scenario, run_scenario, LiveQueryReport,
+    run_expression_scenario, run_live_query_scenario, run_resilient_scenario, run_scenario,
+    ExpressionQueryOutcome, ExpressionScenarioReport, JaccardQueryOutcome, LiveQueryReport,
     LiveQuerySample, PartyPhases, ResilientReport, ScenarioReport,
 };
 pub use topology::{aggregate_tree, HierarchicalReport};

@@ -30,7 +30,10 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use gt_core::{merge_tree, Estimate, GtSketch, SketchConfig};
+use gt_core::{
+    merge_tree, Estimate, ExprContext, ExpressionEstimate, GtSketch, JaccardEstimate, SetExpr,
+    SketchConfig, SketchError,
+};
 
 use crate::codec::{
     decode_sketch, decode_sketch_into, payload_fingerprint, CodecError, DecodeScratch, WirePayload,
@@ -177,10 +180,54 @@ impl PartialEstimate {
     }
 }
 
+/// A degraded-mode expression answer: the estimate plus how many of the
+/// parties the expression references were actually heard.
+///
+/// Produced by [`RefereeOf::query_partial`]. Unheard referenced parties
+/// are evaluated as **empty streams** — consistent with
+/// [`RefereeOf::estimate_distinct_partial`], where the union estimate
+/// likewise covers only the parties heard. Monotone operators (∪, ∩)
+/// therefore under-report at partial coverage, while a difference
+/// `A ∖ B` with `B` unheard over-reports; callers inspect
+/// [`PartialExpressionEstimate::is_complete`] before treating the value
+/// as the full-fleet answer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartialExpressionEstimate {
+    /// Expression estimate over the parties heard (unheard leaves empty).
+    pub estimate: ExpressionEstimate,
+    /// Referenced parties with an accepted message.
+    pub parties_heard: usize,
+    /// Distinct parties the expression references.
+    pub parties_referenced: usize,
+}
+
+impl PartialExpressionEstimate {
+    /// Whether every referenced party was heard (the estimate is the
+    /// full-coverage answer).
+    pub fn is_complete(&self) -> bool {
+        self.parties_heard >= self.parties_referenced
+    }
+
+    /// Fraction of referenced parties heard, in `[0, 1]` (1 when the
+    /// expression references none).
+    pub fn coverage(&self) -> f64 {
+        if self.parties_referenced == 0 {
+            1.0
+        } else {
+            (self.parties_heard as f64 / self.parties_referenced as f64).min(1.0)
+        }
+    }
+}
+
 /// The central aggregator of the distributed-streams model, generic over
 /// the sketch payload it unions (labels only, `u64` weights, ...).
 ///
 /// Most code wants the label-only alias [`Referee`].
+///
+/// Besides the running union, the referee retains each party's own
+/// merged summary (one sketch per party heard — logarithmic space each,
+/// the same order as the messages themselves), which is what powers the
+/// set-expression query API ([`RefereeOf::query`]) over the fleet.
 #[derive(Clone, Debug)]
 pub struct RefereeOf<V: WirePayload> {
     master_seed: u64,
@@ -191,6 +238,9 @@ pub struct RefereeOf<V: WirePayload> {
     /// Accepted payload fingerprints per party; the first entry is the
     /// party's first accepted message, later entries are merged variants.
     accepted_payloads: HashMap<usize, Vec<u64>>,
+    /// Per-party retained summaries: the union of every accepted payload
+    /// from that party (variants merge in). Feeds the expression engine.
+    party_sketches: HashMap<usize, GtSketch<V>>,
     telemetry: RefereeTelemetry,
     /// Pooled scratch sketches for [`RefereeOf::receive_batch`]: messages
     /// decode into these in place (no per-message sketch allocation), and
@@ -215,6 +265,7 @@ impl<V: WirePayload> RefereeOf<V> {
             bytes_received: 0,
             items_reported: 0,
             accepted_payloads: HashMap::new(),
+            party_sketches: HashMap::new(),
             telemetry: RefereeTelemetry::default(),
             decode_arena: Vec::new(),
             scratch: DecodeScratch::new(),
@@ -257,6 +308,7 @@ impl<V: WirePayload> RefereeOf<V> {
             self.telemetry.record_reject(&e);
             return Err(e);
         }
+        absorb_party_sketch(&mut self.party_sketches, msg.party_id, sketch);
         Ok(self.commit_accepted(msg.party_id, fingerprint, msg.bytes(), msg.items_observed))
     }
 
@@ -352,7 +404,12 @@ impl<V: WirePayload> RefereeOf<V> {
         self.telemetry.merge_time += merge_start.elapsed();
         match merged {
             Ok(()) => {
-                for a in accepted {
+                for (k, a) in accepted.into_iter().enumerate() {
+                    absorb_party_sketch(
+                        &mut self.party_sketches,
+                        a.party_id,
+                        self.decode_arena[k].clone(),
+                    );
                     receipts[a.receipt_index] =
                         Ok(self.commit_accepted(a.party_id, a.fingerprint, a.bytes, a.items));
                 }
@@ -364,6 +421,11 @@ impl<V: WirePayload> RefereeOf<V> {
                     self.telemetry.merge_time += merge_start.elapsed();
                     receipts[a.receipt_index] = match merged {
                         Ok(()) => {
+                            absorb_party_sketch(
+                                &mut self.party_sketches,
+                                a.party_id,
+                                self.decode_arena[k].clone(),
+                            );
                             Ok(self.commit_accepted(a.party_id, a.fingerprint, a.bytes, a.items))
                         }
                         Err(e) => {
@@ -441,6 +503,110 @@ impl<V: WirePayload> RefereeOf<V> {
         &self.union
     }
 
+    /// The retained summary of one party (the union of all its accepted
+    /// payloads), if it has been heard.
+    pub fn party_sketch(&self, party_id: usize) -> Option<&GtSketch<V>> {
+        self.party_sketches.get(&party_id)
+    }
+
+    /// The distinct referenced party ids of one or more expressions,
+    /// sorted ascending.
+    fn referenced_parties(exprs: &[&SetExpr]) -> Vec<usize> {
+        let mut ids: Vec<usize> = Vec::new();
+        for e in exprs {
+            e.for_each_leaf(&mut |i| ids.push(i));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Build the evaluation context for `exprs`, with leaves remapped
+    /// from party ids to dense operand indices. `strict` rejects unheard
+    /// referenced parties; otherwise they evaluate as empty streams
+    /// (backed by `empty`, which the caller keeps alive for the borrow).
+    fn expr_context<'s>(
+        &'s self,
+        exprs: &[&SetExpr],
+        empty: &'s GtSketch<V>,
+        strict: bool,
+    ) -> gt_core::Result<(ExprContext<'s, V>, Vec<SetExpr>, usize, usize)> {
+        let ids = Self::referenced_parties(exprs);
+        let mut heard = 0usize;
+        let mut operands: Vec<&GtSketch<V>> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            match self.party_sketches.get(&id) {
+                Some(s) => {
+                    heard += 1;
+                    operands.push(s);
+                }
+                None if strict => {
+                    return Err(SketchError::InvalidConfig {
+                        parameter: "expr",
+                        reason: format!("party {id} referenced but not heard"),
+                    })
+                }
+                None => operands.push(empty),
+            }
+        }
+        let remap: HashMap<usize, usize> = ids
+            .iter()
+            .enumerate()
+            .map(|(dense, &id)| (id, dense))
+            .collect();
+        let remapped = exprs.iter().map(|e| remap_leaves(e, &remap)).collect();
+        Ok((ExprContext::new(&operands)?, remapped, heard, ids.len()))
+    }
+
+    /// Evaluate a set expression over the retained party summaries.
+    /// Leaves are **party ids**: `SetExpr::leaf(3)` is the distinct-label
+    /// set of party 3's stream.
+    ///
+    /// Strict-coverage mode: every referenced party must have an accepted
+    /// message (use [`RefereeOf::query_partial`] to tolerate gaps). The
+    /// estimate carries the `(ε, δ)` of the shared configuration with the
+    /// additive error contract described in [`gt_core::expr`], plus the
+    /// per-trial variance and ±2·SE confidence interval.
+    ///
+    /// # Errors
+    /// [`SketchError::InvalidConfig`] when the expression references an
+    /// unheard party or the expression is otherwise invalid.
+    pub fn query(&self, expr: &SetExpr) -> gt_core::Result<ExpressionEstimate> {
+        let empty = GtSketch::new(self.union.config(), self.master_seed);
+        let (ctx, remapped, _, _) = self.expr_context(&[expr], &empty, true)?;
+        ctx.eval(&remapped[0])
+    }
+
+    /// Jaccard similarity between two set expressions over the retained
+    /// party summaries (strict coverage, like [`RefereeOf::query`]).
+    ///
+    /// # Errors
+    /// [`SketchError::InvalidConfig`] when either expression references
+    /// an unheard party.
+    pub fn query_jaccard(&self, e1: &SetExpr, e2: &SetExpr) -> gt_core::Result<JaccardEstimate> {
+        let empty = GtSketch::new(self.union.config(), self.master_seed);
+        let (ctx, remapped, _, _) = self.expr_context(&[e1, e2], &empty, true)?;
+        ctx.eval_jaccard(&remapped[0], &remapped[1])
+    }
+
+    /// Degraded-mode expression query: unheard referenced parties are
+    /// evaluated as empty streams, and the answer reports how many of the
+    /// referenced parties were actually heard — the expression-engine
+    /// counterpart of [`RefereeOf::estimate_distinct_partial`].
+    ///
+    /// # Errors
+    /// [`SketchError::InvalidConfig`] for malformed expressions (coverage
+    /// gaps are *not* errors here — that is the point of this entry).
+    pub fn query_partial(&self, expr: &SetExpr) -> gt_core::Result<PartialExpressionEstimate> {
+        let empty = GtSketch::new(self.union.config(), self.master_seed);
+        let (ctx, remapped, heard, referenced) = self.expr_context(&[expr], &empty, false)?;
+        Ok(PartialExpressionEstimate {
+            estimate: ctx.eval(&remapped[0])?,
+            parties_heard: heard,
+            parties_referenced: referenced,
+        })
+    }
+
     /// Distinct parties with at least one accepted message.
     pub fn parties_heard(&self) -> usize {
         self.accepted_payloads.len()
@@ -468,6 +634,36 @@ impl<V: WirePayload> RefereeOf<V> {
     /// party.
     pub fn items_reported(&self) -> u64 {
         self.items_reported
+    }
+}
+
+/// Fold one accepted payload into the retained per-party summary.
+/// Variants of a party's message merge in, so the summary is the union of
+/// everything the party has been heard to say.
+fn absorb_party_sketch<V: WirePayload>(
+    map: &mut HashMap<usize, GtSketch<V>>,
+    party_id: usize,
+    sketch: GtSketch<V>,
+) {
+    match map.entry(party_id) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            e.get_mut()
+                .merge_from(&sketch)
+                .expect("party sketches share the union's seed and config");
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(sketch);
+        }
+    }
+}
+
+/// Rewrite every leaf's party id to its dense operand index.
+fn remap_leaves(expr: &SetExpr, remap: &HashMap<usize, usize>) -> SetExpr {
+    match expr {
+        SetExpr::Leaf(id) => SetExpr::leaf(remap[id]),
+        SetExpr::Union(a, b) => remap_leaves(a, remap).union(remap_leaves(b, remap)),
+        SetExpr::Intersect(a, b) => remap_leaves(a, remap).intersect(remap_leaves(b, remap)),
+        SetExpr::Difference(a, b) => remap_leaves(a, remap).difference(remap_leaves(b, remap)),
     }
 }
 
@@ -577,6 +773,114 @@ mod tests {
         let partial = referee.estimate_distinct_partial(4);
         assert!(partial.is_complete());
         assert_eq!(partial.coverage(), 1.0);
+    }
+
+    #[test]
+    fn depth_three_expression_query_tracks_exact_truth() {
+        // Four parties, everything below per-trial capacity, so the
+        // engine is exact: ((s0 ∪ s1) ∩ s2) ∖ s3 over
+        // [0,300) ∪ [200,500) = [0,500); ∩ [250,350) = [250,350);
+        // ∖ [300,700) = [250,300) → 50 labels.
+        let mut referee = Referee::new(&cfg(), 5);
+        referee.receive(&message(0, 0..300, 5)).unwrap();
+        referee.receive(&message(1, 200..500, 5)).unwrap();
+        referee.receive(&message(2, 250..350, 5)).unwrap();
+        referee.receive(&message(3, 300..700, 5)).unwrap();
+
+        let expr = SetExpr::leaf(0)
+            .union(SetExpr::leaf(1))
+            .intersect(SetExpr::leaf(2))
+            .difference(SetExpr::leaf(3));
+        assert!(expr.depth() >= 3);
+        let answer = referee.query(&expr).unwrap();
+        assert_eq!(answer.estimate.value, 50.0);
+        assert!(answer.ci_lower() <= answer.estimate.value);
+        assert!(answer.ci_upper() >= answer.estimate.value);
+        assert_eq!(answer.trials, referee.union_sketch().config().trials());
+
+        // Jaccard of two non-leaf expressions, still exact:
+        // |[250,350) ∩ [0,500)| / |[250,350) ∪ [0,500)| = 100 / 500.
+        let j = referee
+            .query_jaccard(&SetExpr::leaf(2), &SetExpr::leaf(0).union(SetExpr::leaf(1)))
+            .unwrap();
+        assert_eq!(j.jaccard, 0.2);
+    }
+
+    #[test]
+    fn strict_query_rejects_unheard_parties_partial_tolerates_them() {
+        let mut referee = Referee::new(&cfg(), 5);
+        referee.receive(&message(0, 0..400, 5)).unwrap();
+
+        let expr = SetExpr::leaf(0).union(SetExpr::leaf(1));
+        let err = referee.query(&expr).unwrap_err();
+        assert!(
+            err.to_string().contains("party 1"),
+            "error should name the missing party: {err}"
+        );
+        assert!(referee
+            .query_jaccard(&SetExpr::leaf(0), &SetExpr::leaf(1))
+            .is_err());
+
+        // Degraded mode: the unheard party contributes an empty stream
+        // and the answer reports the coverage gap.
+        let partial = referee.query_partial(&expr).unwrap();
+        assert_eq!(partial.estimate.estimate.value, 400.0);
+        assert_eq!(partial.parties_heard, 1);
+        assert_eq!(partial.parties_referenced, 2);
+        assert!(!partial.is_complete());
+        assert_eq!(partial.coverage(), 0.5);
+
+        referee.receive(&message(1, 200..600, 5)).unwrap();
+        let partial = referee.query_partial(&expr).unwrap();
+        assert!(partial.is_complete());
+        assert_eq!(partial.coverage(), 1.0);
+        assert_eq!(partial.estimate.estimate.value, 600.0);
+        assert_eq!(referee.query(&expr).unwrap().estimate.value, 600.0);
+    }
+
+    #[test]
+    fn pairwise_query_matches_similarity() {
+        // At scale (subsampled trials), the referee's expression path and
+        // the direct pairwise `similarity()` over the retained summaries
+        // must agree exactly — the engine is the same code.
+        let mut referee = Referee::new(&cfg(), 5);
+        referee.receive(&message(0, 0..60_000, 5)).unwrap();
+        referee.receive(&message(1, 30_000..90_000, 5)).unwrap();
+
+        let sim = gt_core::similarity(
+            referee.party_sketch(0).unwrap(),
+            referee.party_sketch(1).unwrap(),
+        )
+        .unwrap();
+        let (a, b) = (SetExpr::leaf(0), SetExpr::leaf(1));
+        let j = referee.query_jaccard(&a, &b).unwrap();
+        assert_eq!(j.jaccard, sim.jaccard);
+        let union = referee.query(&a.clone().union(b.clone())).unwrap();
+        assert_eq!(union.estimate.value, sim.union);
+        let inter = referee.query(&a.clone().intersect(b.clone())).unwrap();
+        assert_eq!(inter.estimate.value, sim.intersection);
+        let diff = referee.query(&a.difference(b)).unwrap();
+        assert_eq!(diff.estimate.value, sim.difference_a_minus_b);
+    }
+
+    #[test]
+    fn variant_payloads_accumulate_in_the_party_summary() {
+        let mut referee = Referee::new(&cfg(), 5);
+        referee.receive(&message(7, 0..200, 5)).unwrap();
+        assert_eq!(
+            referee.query(&SetExpr::leaf(7)).unwrap().estimate.value,
+            200.0
+        );
+        assert_eq!(
+            referee.receive(&message(7, 0..350, 5)).unwrap(),
+            Receipt::MergedVariant
+        );
+        // The summary is the union of everything party 7 said.
+        assert_eq!(
+            referee.query(&SetExpr::leaf(7)).unwrap().estimate.value,
+            350.0
+        );
+        assert!(referee.party_sketch(8).is_none());
     }
 
     #[test]
@@ -756,6 +1060,16 @@ mod tests {
             assert_eq!(batched.bytes_received(), sequential.bytes_received());
             assert_eq!(batched.items_reported(), sequential.items_reported());
             assert_eq!(batched.parties_heard(), sequential.parties_heard());
+            // The retained per-party summaries (variant merges included)
+            // must be bitwise-identical too, so expression queries cannot
+            // depend on the delivery path.
+            for party in 0..4usize {
+                assert_eq!(
+                    batched.party_sketch(party).map(encode_sketch),
+                    sequential.party_sketch(party).map(encode_sketch),
+                    "split {split}: party {party} summary diverged"
+                );
+            }
             assert_eq!(
                 countable(batched.telemetry()),
                 countable(sequential.telemetry()),

@@ -291,6 +291,153 @@ pub fn run_resilient_scenario(
     }
 }
 
+/// One set-expression query answered by the referee, scored against the
+/// exact oracle.
+#[derive(Clone, Debug)]
+pub struct ExpressionQueryOutcome {
+    /// The expression, rendered (leaves are party ids, e.g. `(s0 ∪ s1)`).
+    pub expr: String,
+    /// Nesting depth of the expression tree (a leaf has depth 1).
+    pub depth: usize,
+    /// The referee's answer: point estimate, per-trial variance, CI.
+    pub answer: gt_core::ExpressionEstimate,
+    /// Exact cardinality of the expression over the true streams.
+    pub truth: u64,
+    /// `|estimate − truth| / (ε · |union of referenced streams|)` — the
+    /// additive error contract's yardstick; ≤ 1 means within contract.
+    /// 0 when the referenced union is empty.
+    pub scaled_error: f64,
+}
+
+/// One Jaccard query between two set expressions, scored against the
+/// exact oracle.
+#[derive(Clone, Debug)]
+pub struct JaccardQueryOutcome {
+    /// The two expressions, rendered.
+    pub exprs: (String, String),
+    /// The referee's answer.
+    pub answer: gt_core::JaccardEstimate,
+    /// Exact Jaccard similarity over the true streams (0 when the true
+    /// union is empty, matching the engine's convention).
+    pub truth: f64,
+    /// `|estimate − truth|`.
+    pub abs_error: f64,
+}
+
+/// Everything measured in one **expression-query** scenario run.
+#[derive(Clone, Debug)]
+pub struct ExpressionScenarioReport {
+    /// One outcome per requested set expression, in request order.
+    pub queries: Vec<ExpressionQueryOutcome>,
+    /// One outcome per requested Jaccard pair, in request order.
+    pub jaccard_queries: Vec<JaccardQueryOutcome>,
+    /// Number of parties.
+    pub parties: usize,
+    /// Total items across streams.
+    pub total_items: u64,
+    /// The configuration's ε (the scaled-error denominator factor).
+    pub epsilon: f64,
+}
+
+/// Run an expression-query scenario: every party observes its stream and
+/// reports to the referee (serially — this runner measures estimation
+/// quality, not wall clock), then the referee answers each set-expression
+/// and Jaccard query from its retained per-party summaries. Exact truth
+/// for every query is computed from the raw streams via
+/// [`gt_core::expr::SetExpr::eval_exact`].
+///
+/// Leaves of the query expressions are **party ids**, i.e. indices into
+/// `streams.streams`.
+///
+/// # Panics
+/// Panics if a query references a party outside the stream set or a
+/// referee message is rejected (both indicate caller bugs).
+pub fn run_expression_scenario(
+    config: &SketchConfig,
+    master_seed: u64,
+    streams: &StreamSet,
+    queries: &[gt_core::SetExpr],
+    jaccard_queries: &[(gt_core::SetExpr, gt_core::SetExpr)],
+) -> ExpressionScenarioReport {
+    use std::collections::HashSet;
+
+    let t = streams.streams.len();
+    assert!(t > 0, "need at least one party");
+
+    let mut referee = Referee::new(config, master_seed);
+    for (id, stream) in streams.streams.iter().enumerate() {
+        let mut party = Party::new(id, config, master_seed);
+        party.observe_stream(stream);
+        referee
+            .receive(&party.finish())
+            .expect("coordinated message must decode");
+    }
+
+    let sets: Vec<HashSet<u64>> = streams
+        .streams
+        .iter()
+        .map(|s| s.iter().copied().collect())
+        .collect();
+
+    let queries = queries
+        .iter()
+        .map(|expr| {
+            let answer = referee.query(expr).expect("query references heard parties");
+            let truth = expr
+                .eval_exact(&sets)
+                .expect("oracle shares the leaves")
+                .len() as u64;
+            // Union of every referenced stream: the additive contract's scale.
+            let mut referenced: HashSet<u64> = HashSet::new();
+            expr.for_each_leaf(&mut |i| referenced.extend(&sets[i]));
+            let scale = config.epsilon() * referenced.len() as f64;
+            let scaled_error = if scale == 0.0 {
+                0.0
+            } else {
+                (answer.estimate.value - truth as f64).abs() / scale
+            };
+            ExpressionQueryOutcome {
+                expr: expr.to_string(),
+                depth: expr.depth(),
+                answer,
+                truth,
+                scaled_error,
+            }
+        })
+        .collect();
+
+    let jaccard_queries = jaccard_queries
+        .iter()
+        .map(|(e1, e2)| {
+            let answer = referee
+                .query_jaccard(e1, e2)
+                .expect("query references heard parties");
+            let s1 = e1.eval_exact(&sets).expect("oracle shares the leaves");
+            let s2 = e2.eval_exact(&sets).expect("oracle shares the leaves");
+            let union = s1.union(&s2).count();
+            let truth = if union == 0 {
+                0.0
+            } else {
+                s1.intersection(&s2).count() as f64 / union as f64
+            };
+            JaccardQueryOutcome {
+                exprs: (e1.to_string(), e2.to_string()),
+                abs_error: (answer.jaccard - truth).abs(),
+                answer,
+                truth,
+            }
+        })
+        .collect();
+
+    ExpressionScenarioReport {
+        queries,
+        jaccard_queries,
+        parties: t,
+        total_items: streams.total_items(),
+        epsilon: config.epsilon(),
+    }
+}
+
 /// One mid-stream query answered while writers were still ingesting.
 #[derive(Clone, Copy, Debug)]
 pub struct LiveQuerySample {
@@ -694,6 +841,58 @@ mod tests {
         assert_eq!(report.relative_error, 0.0); // under capacity → exact
         assert_eq!(report.final_estimate, report.truth as f64);
         assert!(report.monotone);
+    }
+
+    #[test]
+    fn expression_scenario_answers_within_contract() {
+        use gt_core::SetExpr;
+        let spec = WorkloadSpec {
+            parties: 4,
+            distinct_per_party: 8_000,
+            overlap: 0.5,
+            items_per_party: 16_000,
+            distribution: Distribution::Uniform,
+            seed: 41,
+        };
+        let streams = spec.generate();
+        let config = SketchConfig::new(0.1, 0.05).unwrap();
+        let (a, b, c, d) = (
+            SetExpr::leaf(0),
+            SetExpr::leaf(1),
+            SetExpr::leaf(2),
+            SetExpr::leaf(3),
+        );
+        let queries = [
+            a.clone().union(b.clone()),
+            a.clone().union(b.clone()).intersect(c.clone()),
+            a.clone()
+                .union(b.clone())
+                .intersect(c.clone())
+                .difference(d.clone()),
+        ];
+        let jaccard = [(a.clone().union(b.clone()), c.clone().difference(a.clone()))];
+        let report = run_expression_scenario(&config, 61, &streams, &queries, &jaccard);
+
+        assert_eq!(report.parties, 4);
+        assert_eq!(report.epsilon, 0.1);
+        assert_eq!(report.queries.len(), 3);
+        assert_eq!(report.queries[0].depth, 2);
+        assert_eq!(report.queries[2].depth, 4);
+        for q in &report.queries {
+            // Additive contract with slack for the intersection queries
+            // (differences of coordinated estimates compound the bound).
+            assert!(
+                q.scaled_error <= 3.0,
+                "{} scaled error {}",
+                q.expr,
+                q.scaled_error
+            );
+            assert!(q.answer.ci_lower() <= q.answer.ci_upper());
+        }
+        assert_eq!(report.jaccard_queries.len(), 1);
+        let j = &report.jaccard_queries[0];
+        assert!(j.truth > 0.0 && j.truth < 1.0, "truth {}", j.truth);
+        assert!(j.abs_error < 0.15, "jaccard err {}", j.abs_error);
     }
 
     #[test]

@@ -43,11 +43,12 @@
 #![warn(missing_docs)]
 
 pub use gt_core::{
-    compact, concurrent, error, estimate, harmonize, jaccard_matrix, median_f64, merge, merge_all,
-    merge_tree, metrics, parallel, params, predicate, quantile_f64, recency, relative_error,
-    sample, similarity, sketch, sumdistinct, trial, ConcurrentMetricsSnapshot, ConcurrentSketch,
-    CoordinatedTrial, DistinctSample, DistinctSketch, Estimate, GtSketch, InsertStats, LatestTs,
-    Mergeable, MetricsSnapshot, Payload, PropagationCause, RecencySketch, Result, ShardedSketch,
+    compact, concurrent, error, estimate, eval_expr, expr, harmonize, jaccard_matrix, median_f64,
+    merge, merge_all, merge_tree, metrics, parallel, params, predicate, quantile_f64, recency,
+    relative_error, sample, similarity, sketch, sumdistinct, trial, ConcurrentMetricsSnapshot,
+    ConcurrentSketch, CoordinatedTrial, DistinctSample, DistinctSketch, Estimate, ExprContext,
+    ExpressionEstimate, GtSketch, InsertStats, JaccardEstimate, LatestTs, Mergeable,
+    MetricsSnapshot, Payload, PropagationCause, RecencySketch, Result, SetExpr, ShardedSketch,
     SimilarityEstimate, SketchConfig, SketchError, SketchMetrics, SketchSnapshot, SketchWriter,
     SumDistinctSketch, TrialInsert, TrialMergeReport,
 };

@@ -1,0 +1,213 @@
+//! Property-based tests for the set-expression query engine: engine
+//! evaluation must agree with the pre-existing single-purpose paths
+//! (`estimate_distinct`, `similarity()`) wherever they overlap, and with
+//! exact set algebra below capacity. If any of these break, expression
+//! answers silently drift from the estimators the paper's guarantees
+//! were proved for.
+
+use std::collections::HashSet;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gt_sketch::{eval_expr, similarity, DistinctSketch, ExprContext, SetExpr, SketchConfig};
+
+/// Small capacities + trials so promotions (level skew) happen even on
+/// small inputs.
+fn small_config() -> SketchConfig {
+    SketchConfig::from_shape(0.3, 0.3, 16, 5, gt_sketch::HashFamilyKind::Pairwise).unwrap()
+}
+
+/// Roomy capacity: a few hundred labels stay below it in every trial, so
+/// estimates are exact and comparable to true set algebra.
+fn roomy_config() -> SketchConfig {
+    SketchConfig::new(0.1, 0.1).unwrap()
+}
+
+fn sketch_of(config: &SketchConfig, labels: &[u64], seed: u64) -> DistinctSketch {
+    let mut s = DistinctSketch::new(config, seed);
+    s.extend_labels(labels.iter().map(|&l| gt_sketch::fold61(l)));
+    s
+}
+
+fn label_set(labels: &[u64]) -> HashSet<u64> {
+    labels.iter().map(|&l| gt_sketch::fold61(l)).collect()
+}
+
+/// Fold `(op, leaf)` pairs into a left-deep expression over 3 operands:
+/// depth = pairs + 1, so up to 4 with three pairs. The shapes cover
+/// repeated leaves and every operator.
+fn build_expr(first_leaf: usize, pairs: &[(u8, usize)]) -> SetExpr {
+    let mut expr = SetExpr::leaf(first_leaf % 3);
+    for &(op, leaf) in pairs {
+        let rhs = SetExpr::leaf(leaf % 3);
+        expr = match op % 3 {
+            0 => expr.union(rhs),
+            1 => expr.intersect(rhs),
+            _ => expr.difference(rhs),
+        };
+    }
+    expr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The depth-1 special case: a leaf evaluates to exactly
+    /// `estimate_distinct()` of that operand, at any level skew.
+    #[test]
+    fn leaf_evaluation_is_estimate_distinct(
+        a in vec(0u64..5_000, 0..400),
+        b in vec(0u64..200_000, 0..2_000),
+        seed in 0u64..16,
+    ) {
+        let sa = sketch_of(&small_config(), &a, seed);
+        let sb = sketch_of(&small_config(), &b, seed);
+        // Alignment must not leak across leaves: evaluating leaf(0) in a
+        // two-operand context ignores operand 1's (higher) level.
+        let ctx = ExprContext::new(&[&sa, &sb]).unwrap();
+        let got = ctx.eval(&SetExpr::leaf(0)).unwrap();
+        prop_assert_eq!(got.estimate.value, sa.estimate_distinct().value);
+        let got = ctx.eval(&SetExpr::leaf(1)).unwrap();
+        prop_assert_eq!(got.estimate.value, sb.estimate_distinct().value);
+    }
+
+    /// Pairwise engine results are value-identical to `similarity()` for
+    /// every field, including under level skew (b's universe is much
+    /// larger, so its trials run at higher levels).
+    #[test]
+    fn pairwise_engine_matches_similarity(
+        a in vec(0u64..5_000, 0..400),
+        b in vec(0u64..200_000, 0..2_000),
+        seed in 0u64..16,
+    ) {
+        let sa = sketch_of(&small_config(), &a, seed);
+        let sb = sketch_of(&small_config(), &b, seed);
+        let sim = similarity(&sa, &sb).unwrap();
+        let (la, lb) = (SetExpr::leaf(0), SetExpr::leaf(1));
+
+        let union = eval_expr(&la.clone().union(lb.clone()), &[&sa, &sb]).unwrap();
+        prop_assert_eq!(union.estimate.value, sim.union);
+        let inter = eval_expr(&la.clone().intersect(lb.clone()), &[&sa, &sb]).unwrap();
+        prop_assert_eq!(inter.estimate.value, sim.intersection);
+        let diff_ab = eval_expr(&la.clone().difference(lb.clone()), &[&sa, &sb]).unwrap();
+        prop_assert_eq!(diff_ab.estimate.value, sim.difference_a_minus_b);
+        let diff_ba = eval_expr(&lb.clone().difference(la.clone()), &[&sa, &sb]).unwrap();
+        prop_assert_eq!(diff_ba.estimate.value, sim.difference_b_minus_a);
+
+        let ctx = ExprContext::new(&[&sa, &sb]).unwrap();
+        let j = ctx.eval_jaccard(&la, &lb).unwrap();
+        prop_assert_eq!(j.jaccard, sim.jaccard);
+    }
+
+    /// Repeated leaves obey set algebra at any level skew: A∩A and A∪A
+    /// are A (so they evaluate to `estimate_distinct`), and A∖A is empty.
+    #[test]
+    fn repeated_leaves_collapse(
+        a in vec(0u64..100_000, 0..1_500),
+        seed in 0u64..16,
+    ) {
+        let sa = sketch_of(&small_config(), &a, seed);
+        let leaf = SetExpr::leaf(0);
+        let exact = sa.estimate_distinct().value;
+        let both = eval_expr(&leaf.clone().intersect(leaf.clone()), &[&sa]).unwrap();
+        prop_assert_eq!(both.estimate.value, exact);
+        let either = eval_expr(&leaf.clone().union(leaf.clone()), &[&sa]).unwrap();
+        prop_assert_eq!(either.estimate.value, exact);
+        let neither = eval_expr(&leaf.clone().difference(leaf.clone()), &[&sa]).unwrap();
+        prop_assert_eq!(neither.estimate.value, 0.0);
+        prop_assert_eq!(neither.variance, 0.0);
+    }
+
+    /// Below capacity, random expression trees over 3 operands (depth up
+    /// to 4, repeated leaves allowed) evaluate to exact set algebra — the
+    /// engine agrees with both the `eval_exact` oracle and a by-hand
+    /// `HashSet` evaluation of the same tree.
+    #[test]
+    fn below_capacity_trees_match_exact_set_algebra(
+        a in vec(0u64..600, 0..250),
+        b in vec(0u64..600, 0..250),
+        c in vec(0u64..600, 0..250),
+        first_leaf in 0usize..3,
+        pairs in vec((0u8..3, 0usize..3), 1..4),
+        seed in 0u64..8,
+    ) {
+        let config = roomy_config();
+        let (sa, sb, sc) = (
+            sketch_of(&config, &a, seed),
+            sketch_of(&config, &b, seed),
+            sketch_of(&config, &c, seed),
+        );
+        let expr = build_expr(first_leaf, &pairs);
+        let sets = [label_set(&a), label_set(&b), label_set(&c)];
+        let truth = expr.eval_exact(&sets).unwrap().len() as f64;
+        let got = eval_expr(&expr, &[&sa, &sb, &sc]).unwrap();
+        prop_assert_eq!(got.estimate.value, truth, "expr {}", expr);
+        // Exact in every trial, so the empirical spread collapses too.
+        prop_assert_eq!(got.mean, truth);
+        prop_assert_eq!(got.variance, 0.0);
+    }
+}
+
+#[test]
+fn empty_operands_evaluate_to_zero_everywhere() {
+    let config = small_config();
+    let empty = DistinctSketch::new(&config, 3);
+    let full = sketch_of(&config, &(0..2_000u64).collect::<Vec<_>>(), 3);
+
+    let (le, lf) = (SetExpr::leaf(0), SetExpr::leaf(1));
+    let ctx = ExprContext::new(&[&empty, &full]).unwrap();
+    assert_eq!(ctx.eval(&le).unwrap().estimate.value, 0.0);
+    assert_eq!(
+        ctx.eval(&le.clone().intersect(lf.clone()))
+            .unwrap()
+            .estimate
+            .value,
+        0.0
+    );
+    assert_eq!(
+        ctx.eval(&le.clone().union(lf.clone()))
+            .unwrap()
+            .estimate
+            .value,
+        full.estimate_distinct().value
+    );
+    // Jaccard of two empties follows the empty-union convention: 0.0.
+    let both_empty = ExprContext::new(&[&empty, &empty]).unwrap();
+    let j = both_empty.eval_jaccard(&le, &lf).unwrap();
+    assert_eq!(j.jaccard, 0.0);
+    assert_eq!(j.populated_trials, 0);
+}
+
+#[test]
+fn depth_three_and_deeper_trees_track_truth_at_scale() {
+    // Above capacity: a depth-4 expression over three 60k-label streams
+    // stays within the additive contract ε·|referenced union| (with the
+    // generous constant the engine's own tests use).
+    let config = SketchConfig::new(0.1, 0.05).unwrap();
+    let a: Vec<u64> = (0..60_000).collect();
+    let b: Vec<u64> = (30_000..90_000).collect();
+    let c: Vec<u64> = (50_000..110_000).collect();
+    let (sa, sb, sc) = (
+        sketch_of(&config, &a, 21),
+        sketch_of(&config, &b, 21),
+        sketch_of(&config, &c, 21),
+    );
+    let expr = SetExpr::leaf(0)
+        .union(SetExpr::leaf(1))
+        .intersect(SetExpr::leaf(2))
+        .difference(SetExpr::leaf(0));
+    assert_eq!(expr.depth(), 4);
+    let sets = [label_set(&a), label_set(&b), label_set(&c)];
+    let truth = expr.eval_exact(&sets).unwrap().len() as f64;
+    // Truth: (([0,60k) ∪ [30k,90k)) ∩ [50k,110k)) ∖ [0,60k) = [60k,90k).
+    assert_eq!(truth, 30_000.0);
+    let got = eval_expr(&expr, &[&sa, &sb, &sc]).unwrap();
+    let scale = 0.1 * 110_000.0; // ε · |union of referenced streams|
+    assert!(
+        (got.estimate.value - truth).abs() <= 3.0 * scale,
+        "estimate {} truth {truth}",
+        got.estimate.value
+    );
+    assert!(got.ci_lower() <= got.ci_upper());
+}
