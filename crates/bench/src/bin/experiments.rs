@@ -92,6 +92,8 @@ fn print_usage() {
     println!("  e19   results/BENCH_union.json      (referee merge pipeline + tree reduction)");
     println!("  e20   results/BENCH_hash.json       (lane vs scalar hash kernels + screen)");
     println!("  e21   results/BENCH_store.json      (keyed store: Zipf ingest, budget, spill)");
+    println!("  e22   results/BENCH_expr.json       (set-expression error vs depth and overlap)");
+    println!("  e23   results/BENCH_e2e.json        (scenario suite: latency, coverage, faults)");
     println!("\nCriterion benches for fine-grained time-domain numbers:");
     println!("  e4    cargo bench -p gt-bench --bench ingest     (per-item cost, throughput)");
     println!("  e10   cargo bench -p gt-bench --bench merge      (referee cost vs parties)");

@@ -23,6 +23,7 @@ pub mod e19_union;
 pub mod e20_hash_kernel;
 pub mod e21_keyed_store;
 pub mod e22_expression;
+pub mod e23_e2e;
 
 use crate::table::Table;
 
@@ -156,6 +157,12 @@ pub const REGISTRY: &[Experiment] = &[
         description:
             "set-expression queries at the referee: error vs depth and overlap (BENCH_expr.json)",
         run: e22_expression::run,
+    },
+    Experiment {
+        id: "e23",
+        description:
+            "end-to-end scenario suite: sustained load, latency, coverage under faults (BENCH_e2e.json)",
+        run: e23_e2e::run,
     },
 ];
 

@@ -245,6 +245,25 @@ impl SlidingWindowSketch {
         }
     }
 
+    /// Estimate the distinct labels seen in the **last `window` time
+    /// units** as of `now`: labels whose latest arrival lies in
+    /// `(now − window, now]`, i.e. `estimate_distinct_since(now + 1 −
+    /// window)` with saturation at time 0. A zero-width window is empty
+    /// by definition (0.0). This is the query-plan entry point of the
+    /// scenario harness ("distinct in the last W ticks"), phrased so
+    /// callers never have to get the half-open boundary arithmetic right.
+    pub fn estimate_distinct_last(&self, now: u64, window: u64) -> Estimate {
+        if window == 0 {
+            return Estimate {
+                value: 0.0,
+                epsilon: self.config.epsilon(),
+                delta: self.config.delta(),
+            };
+        }
+        let since = now.saturating_add(1).saturating_sub(window);
+        self.estimate_distinct_since(since)
+    }
+
     /// Union with a coordinated peer (see module docs for merge
     /// semantics).
     pub fn merge_from(&mut self, other: &SlidingWindowSketch) -> Result<()> {

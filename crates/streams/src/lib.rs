@@ -30,6 +30,12 @@
 //!   [`transport::Transport`], feeding an idempotent [`referee`].
 //! * [`faults`] — the one-shot fault harness of earlier experiments,
 //!   now a thin configuration of the transport + collector.
+//! * [`scenario`] — the declarative end-to-end harness: a
+//!   [`scenario::ScenarioSpec`] (topology × workload × fault plan ×
+//!   query plan, all plain data) dispatched to one of five engines,
+//!   including a sustained-rate load generator on the virtual clock
+//!   that measures per-item admission→queryable latency and emits an
+//!   [`scenario::E2eReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +48,7 @@ pub mod oracle;
 pub mod party;
 pub mod referee;
 pub mod runner;
+pub mod scenario;
 pub mod topology;
 pub mod transport;
 pub mod workload;
@@ -56,13 +63,19 @@ pub use netflow::{FlowRecord, FlowWorkload};
 pub use oracle::StreamOracle;
 pub use party::{Party, PartyMessage};
 pub use referee::{
-    batch_size_bucket, PartialEstimate, PartialExpressionEstimate, Receipt, Referee, RefereeOf,
-    RefereeTelemetry, BATCH_BUCKET_LABELS,
+    batch_size_bucket, PartialEstimate, PartialExpressionEstimate, PartialJaccardEstimate, Receipt,
+    Referee, RefereeOf, RefereeTelemetry, BATCH_BUCKET_LABELS,
 };
 pub use runner::{
     run_expression_scenario, run_live_query_scenario, run_resilient_scenario, run_scenario,
     ExpressionQueryOutcome, ExpressionScenarioReport, JaccardQueryOutcome, LiveQueryReport,
     LiveQuerySample, PartyPhases, ResilientReport, ScenarioReport,
+};
+pub use scenario::{
+    named_suite, run_spec, run_spec_on, run_sustained, ChurnEvent, ChurnKind, DistinctSample,
+    E2eDeterminismKey, E2eReport, ExpressionSample, FaultPlan, IngestMode, JaccardSample,
+    LatencyHistogram, LoadPhase, LoadShape, QueryPlan, ScenarioBuilder, ScenarioOutcome,
+    ScenarioSpec, TopologySpec, WindowSample, WorkloadPlan, LATENCY_CLAMP,
 };
 pub use topology::{aggregate_tree, HierarchicalReport};
 pub use transport::{Delivery, SendFate, Tick, Transport, TransportSpec, TransportTelemetry};

@@ -219,6 +219,41 @@ impl PartialExpressionEstimate {
     }
 }
 
+/// A degraded-mode Jaccard answer: the similarity estimate plus how many
+/// of the parties the two expressions reference were actually heard.
+///
+/// Produced by [`RefereeOf::query_jaccard_partial`]. Unheard referenced
+/// parties evaluate as **empty streams**, exactly as in
+/// [`RefereeOf::query_partial`]; coverage is counted over the union of
+/// both expressions' referenced parties.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartialJaccardEstimate {
+    /// Jaccard estimate over the parties heard (unheard leaves empty).
+    pub estimate: JaccardEstimate,
+    /// Referenced parties with an accepted message.
+    pub parties_heard: usize,
+    /// Distinct parties the two expressions reference.
+    pub parties_referenced: usize,
+}
+
+impl PartialJaccardEstimate {
+    /// Whether every referenced party was heard (the estimate is the
+    /// full-coverage answer).
+    pub fn is_complete(&self) -> bool {
+        self.parties_heard >= self.parties_referenced
+    }
+
+    /// Fraction of referenced parties heard, in `[0, 1]` (1 when the
+    /// expressions reference none).
+    pub fn coverage(&self) -> f64 {
+        if self.parties_referenced == 0 {
+            1.0
+        } else {
+            (self.parties_heard as f64 / self.parties_referenced as f64).min(1.0)
+        }
+    }
+}
+
 /// The central aggregator of the distributed-streams model, generic over
 /// the sketch payload it unions (labels only, `u64` weights, ...).
 ///
@@ -602,6 +637,30 @@ impl<V: WirePayload> RefereeOf<V> {
         let (ctx, remapped, heard, referenced) = self.expr_context(&[expr], &empty, false)?;
         Ok(PartialExpressionEstimate {
             estimate: ctx.eval(&remapped[0])?,
+            parties_heard: heard,
+            parties_referenced: referenced,
+        })
+    }
+
+    /// Degraded-mode Jaccard query: unheard referenced parties evaluate
+    /// as empty streams — the Jaccard counterpart of
+    /// [`RefereeOf::query_partial`]. Note that an empty leaf can swing
+    /// the similarity in either direction (it empties intersections but
+    /// also shrinks unions), so callers must check coverage before
+    /// comparing answers across runs.
+    ///
+    /// # Errors
+    /// [`SketchError::InvalidConfig`] for malformed expressions (coverage
+    /// gaps are *not* errors here).
+    pub fn query_jaccard_partial(
+        &self,
+        e1: &SetExpr,
+        e2: &SetExpr,
+    ) -> gt_core::Result<PartialJaccardEstimate> {
+        let empty = GtSketch::new(self.union.config(), self.master_seed);
+        let (ctx, remapped, heard, referenced) = self.expr_context(&[e1, e2], &empty, false)?;
+        Ok(PartialJaccardEstimate {
+            estimate: ctx.eval_jaccard(&remapped[0], &remapped[1])?,
             parties_heard: heard,
             parties_referenced: referenced,
         })

@@ -1,22 +1,21 @@
-//! Multi-threaded scenario runner: the full distributed-streams pipeline
-//! end to end.
+//! Legacy scenario entry points and their report types.
 //!
-//! One OS thread per party observes its stream and sends its single
-//! end-of-stream [`PartyMessage`] over a crossbeam channel; the referee
-//! (on the caller's thread) decodes and merges messages **while the
-//! remaining parties are still observing**, so referee work is pipelined
-//! with the observation phase instead of serialized after it. Ground
-//! truth is computed by the oracle, and everything an experiment needs
-//! lands in one [`ScenarioReport`].
+//! The four `run_*_scenario` functions below are the crate's original
+//! end-to-end drivers. Since the scenario harness landed they are thin
+//! wrappers: each builds a [`crate::scenario::ScenarioSpec`] via the
+//! builder and dispatches through [`crate::scenario::run_spec_on`],
+//! which routes to the same engine code (moved verbatim into
+//! [`crate::scenario`]). `tests/scenario_regression.rs` pins each
+//! wrapper bitwise (canonical referee wire bytes + key report fields)
+//! to its pre-refactor behavior.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use gt_core::SketchConfig;
 
-use crate::collector::{CollectionReport, Collector, RetryPolicy};
-use crate::oracle::StreamOracle;
-use crate::party::{Party, PartyMessage};
-use crate::referee::{PartialEstimate, Referee, RefereeTelemetry};
+use crate::collector::{CollectionReport, RetryPolicy};
+use crate::referee::{PartialEstimate, RefereeTelemetry};
+use crate::scenario::{IngestMode, ScenarioOutcome, ScenarioSpec};
 use crate::transport::TransportSpec;
 use crate::workload::StreamSet;
 
@@ -90,6 +89,14 @@ impl ScenarioReport {
     }
 }
 
+/// The builder instance behind [`run_scenario`].
+fn classic_spec(streams: &StreamSet) -> ScenarioSpec {
+    ScenarioSpec::builder("classic")
+        .from_workload(&streams.spec)
+        .ingest(IngestMode::PerPartyThreads)
+        .build()
+}
+
 /// Run a full scenario: parties on threads, referee on this thread.
 ///
 /// ```
@@ -117,78 +124,10 @@ pub fn run_scenario(
     master_seed: u64,
     streams: &StreamSet,
 ) -> ScenarioReport {
-    let t = streams.streams.len();
-    assert!(t > 0, "need at least one party");
-
-    let observe_start = Instant::now();
-    let (tx, rx) = crossbeam::channel::unbounded::<(PartyMessage, PartyPhases)>();
-    let mut referee = Referee::new(config, master_seed);
-    let mut bytes_per_party = vec![0usize; t];
-    let mut party_phases = vec![PartyPhases::default(); t];
-    let mut referee_busy = Duration::ZERO;
-    crossbeam::scope(|scope| {
-        for (id, stream) in streams.streams.iter().enumerate() {
-            let tx = tx.clone();
-            scope.spawn(move |_| {
-                let mut party = Party::new(id, config, master_seed);
-                let observe_start = Instant::now();
-                party.observe_stream(stream);
-                let observe = observe_start.elapsed();
-                let encode_start = Instant::now();
-                let msg = party.finish();
-                let encode = encode_start.elapsed();
-                tx.send((msg, PartyPhases { observe, encode }))
-                    .expect("referee hung up");
-            });
-        }
-        drop(tx);
-        // Referee loop, pipelined: runs on this thread while party
-        // threads are still observing; exits when every sender is done.
-        // Messages that queued up while the referee was busy are drained
-        // into one batch and unioned through the tree-reduction batch
-        // path, so referee cost grows with batches, not messages.
-        let mut batch: Vec<PartyMessage> = Vec::with_capacity(t);
-        while let Ok((msg, phases)) = rx.recv() {
-            let busy_start = Instant::now();
-            batch.clear();
-            bytes_per_party[msg.party_id] = msg.bytes();
-            party_phases[msg.party_id] = phases;
-            batch.push(msg);
-            while let Ok((msg, phases)) = rx.try_recv() {
-                bytes_per_party[msg.party_id] = msg.bytes();
-                party_phases[msg.party_id] = phases;
-                batch.push(msg);
-            }
-            for outcome in referee.receive_batch(&batch) {
-                outcome.expect("coordinated message must decode");
-            }
-            referee_busy += busy_start.elapsed();
-        }
-    })
-    .expect("party thread panicked");
-    let observe_wall = observe_start.elapsed();
-
-    let estimate_start = Instant::now();
-    let estimate = referee.estimate_distinct().value;
-    let referee_time = referee_busy + estimate_start.elapsed();
-
-    let oracle = StreamOracle::of_streams(streams.streams.iter().map(|s| s.as_slice()));
-    let truth = oracle.distinct();
-    let relative_error = gt_core::relative_error(estimate, truth as f64);
-
-    ScenarioReport {
-        estimate,
-        truth,
-        relative_error,
-        parties: t,
-        total_items: streams.total_items(),
-        total_bytes: bytes_per_party.iter().sum(),
-        bytes_per_party,
-        party_phases,
-        observe_wall,
-        referee_telemetry: *referee.telemetry(),
-        union_metrics: referee.union_metrics(),
-        referee_time,
+    let spec = classic_spec(streams);
+    match crate::scenario::run_spec_on(config, master_seed, &spec, Some(streams)) {
+        ScenarioOutcome::Classic(report) => report,
+        other => unreachable!("classic spec dispatched to {other:?}"),
     }
 }
 
@@ -226,10 +165,24 @@ impl ResilientReport {
     }
 }
 
+/// The builder instance behind [`run_resilient_scenario`].
+fn resilient_spec(
+    streams: &StreamSet,
+    transport: TransportSpec,
+    policy: RetryPolicy,
+) -> ScenarioSpec {
+    ScenarioSpec::builder("resilient")
+        .from_workload(&streams.spec)
+        .transport(transport)
+        .retry(policy)
+        .build()
+}
+
 /// Run a scenario through the resilient collection plane: parties observe
 /// on threads as in [`run_scenario`], but their messages cross the
 /// simulated faulty [`TransportSpec`] channel and a retrying
-/// [`Collector`] drives ack/timeout/retransmit rounds under `policy`.
+/// [`crate::collector::Collector`] drives ack/timeout/retransmit rounds
+/// under `policy`.
 ///
 /// Unlike [`run_scenario`], message loss is expected here: the report
 /// carries coverage instead of panicking on an incomplete union.
@@ -240,54 +193,10 @@ pub fn run_resilient_scenario(
     spec: TransportSpec,
     policy: RetryPolicy,
 ) -> ResilientReport {
-    let t = streams.streams.len();
-    assert!(t > 0, "need at least one party");
-
-    // Observation phase: one thread per party, as in the clean runner.
-    let messages: Vec<PartyMessage> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = streams
-            .streams
-            .iter()
-            .enumerate()
-            .map(|(id, stream)| {
-                scope.spawn(move |_| {
-                    let mut party = Party::new(id, config, master_seed);
-                    party.observe_stream(stream);
-                    party.finish()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("party thread panicked"))
-            .collect()
-    })
-    .expect("party thread panicked");
-
-    // Collection phase: retrying plane over the faulty channel.
-    let mut collector: Collector = Collector::new(config, master_seed, spec, policy);
-    let collection = collector.collect(&messages);
-    let referee = collector.into_referee();
-    let partial = referee.estimate_distinct_partial(t);
-
-    let full_oracle = StreamOracle::of_streams(streams.streams.iter().map(|s| s.as_slice()));
-    let received_oracle = StreamOracle::of_streams(
-        streams
-            .streams
-            .iter()
-            .zip(&collection.per_party)
-            .filter(|(_, p)| p.acked_at.is_some())
-            .map(|(s, _)| s.as_slice()),
-    );
-    let full_truth = full_oracle.distinct();
-    let received_truth = received_oracle.distinct();
-
-    ResilientReport {
-        collection,
-        partial,
-        full_truth,
-        received_truth,
-        error_vs_received: gt_core::relative_error(partial.estimate.value, received_truth as f64),
+    let spec = resilient_spec(streams, spec, policy);
+    match crate::scenario::run_spec_on(config, master_seed, &spec, Some(streams)) {
+        ScenarioOutcome::Resilient(report) => report,
+        other => unreachable!("resilient spec dispatched to {other:?}"),
     }
 }
 
@@ -339,6 +248,22 @@ pub struct ExpressionScenarioReport {
     pub epsilon: f64,
 }
 
+/// The builder instance behind [`run_expression_scenario`].
+fn expression_spec(
+    streams: &StreamSet,
+    queries: &[gt_core::SetExpr],
+    jaccard_queries: &[(gt_core::SetExpr, gt_core::SetExpr)],
+) -> ScenarioSpec {
+    let mut builder = ScenarioSpec::builder("expression").from_workload(&streams.spec);
+    for q in queries {
+        builder = builder.query_expr(q.clone());
+    }
+    for (e1, e2) in jaccard_queries {
+        builder = builder.query_jaccard(e1.clone(), e2.clone());
+    }
+    builder.build()
+}
+
 /// Run an expression-query scenario: every party observes its stream and
 /// reports to the referee (serially — this runner measures estimation
 /// quality, not wall clock), then the referee answers each set-expression
@@ -359,82 +284,10 @@ pub fn run_expression_scenario(
     queries: &[gt_core::SetExpr],
     jaccard_queries: &[(gt_core::SetExpr, gt_core::SetExpr)],
 ) -> ExpressionScenarioReport {
-    use std::collections::HashSet;
-
-    let t = streams.streams.len();
-    assert!(t > 0, "need at least one party");
-
-    let mut referee = Referee::new(config, master_seed);
-    for (id, stream) in streams.streams.iter().enumerate() {
-        let mut party = Party::new(id, config, master_seed);
-        party.observe_stream(stream);
-        referee
-            .receive(&party.finish())
-            .expect("coordinated message must decode");
-    }
-
-    let sets: Vec<HashSet<u64>> = streams
-        .streams
-        .iter()
-        .map(|s| s.iter().copied().collect())
-        .collect();
-
-    let queries = queries
-        .iter()
-        .map(|expr| {
-            let answer = referee.query(expr).expect("query references heard parties");
-            let truth = expr
-                .eval_exact(&sets)
-                .expect("oracle shares the leaves")
-                .len() as u64;
-            // Union of every referenced stream: the additive contract's scale.
-            let mut referenced: HashSet<u64> = HashSet::new();
-            expr.for_each_leaf(&mut |i| referenced.extend(&sets[i]));
-            let scale = config.epsilon() * referenced.len() as f64;
-            let scaled_error = if scale == 0.0 {
-                0.0
-            } else {
-                (answer.estimate.value - truth as f64).abs() / scale
-            };
-            ExpressionQueryOutcome {
-                expr: expr.to_string(),
-                depth: expr.depth(),
-                answer,
-                truth,
-                scaled_error,
-            }
-        })
-        .collect();
-
-    let jaccard_queries = jaccard_queries
-        .iter()
-        .map(|(e1, e2)| {
-            let answer = referee
-                .query_jaccard(e1, e2)
-                .expect("query references heard parties");
-            let s1 = e1.eval_exact(&sets).expect("oracle shares the leaves");
-            let s2 = e2.eval_exact(&sets).expect("oracle shares the leaves");
-            let union = s1.union(&s2).count();
-            let truth = if union == 0 {
-                0.0
-            } else {
-                s1.intersection(&s2).count() as f64 / union as f64
-            };
-            JaccardQueryOutcome {
-                exprs: (e1.to_string(), e2.to_string()),
-                abs_error: (answer.jaccard - truth).abs(),
-                answer,
-                truth,
-            }
-        })
-        .collect();
-
-    ExpressionScenarioReport {
-        queries,
-        jaccard_queries,
-        parties: t,
-        total_items: streams.total_items(),
-        epsilon: config.epsilon(),
+    let spec = expression_spec(streams, queries, jaccard_queries);
+    match crate::scenario::run_spec_on(config, master_seed, &spec, Some(streams)) {
+        ScenarioOutcome::Expression(report) => report,
+        other => unreachable!("expression spec dispatched to {other:?}"),
     }
 }
 
@@ -499,6 +352,14 @@ impl LiveQueryReport {
     }
 }
 
+/// The builder instance behind [`run_live_query_scenario`].
+fn live_spec(streams: &StreamSet, writer_threshold: u64) -> ScenarioSpec {
+    ScenarioSpec::builder("live")
+        .from_workload(&streams.spec)
+        .ingest(IngestMode::SharedConcurrent { writer_threshold })
+        .build()
+}
+
 /// Run a live-query scenario: one writer thread per stream ingests into a
 /// shared [`gt_core::ConcurrentSketch`] (each writer propagating its
 /// thread-local buffer every `writer_threshold` items or on level lag),
@@ -520,83 +381,10 @@ pub fn run_live_query_scenario(
     streams: &StreamSet,
     writer_threshold: u64,
 ) -> LiveQueryReport {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    let t = streams.streams.len();
-    assert!(t > 0, "need at least one writer");
-    let total_items = streams.total_items();
-
-    let shared = gt_core::ConcurrentSketch::new(config, master_seed);
-    let writers_done = AtomicUsize::new(0);
-    let mut samples: Vec<LiveQuerySample> = Vec::new();
-    let mut snapshots_taken = 0u64;
-    let mut monotone = true;
-
-    let observe_start = Instant::now();
-    crossbeam::scope(|scope| {
-        for stream in &streams.streams {
-            let shared = &shared;
-            let writers_done = &writers_done;
-            scope.spawn(move |_| {
-                let mut writer = shared.writer_with_threshold(writer_threshold);
-                writer.extend_slice(stream);
-                drop(writer); // flush the tail before reporting done
-                writers_done.fetch_add(1, Ordering::Release);
-            });
-        }
-        // Query loop on this thread: serve estimates from snapshots while
-        // writers run. Samples are recorded per *new epoch*; monotonicity
-        // is tracked across every poll (count/ordering property, no
-        // timing assumptions).
-        let mut last_epoch = 0u64;
-        let mut last_items = 0u64;
-        loop {
-            let done = writers_done.load(Ordering::Acquire) >= t;
-            let snap = shared.snapshot();
-            snapshots_taken += 1;
-            if snap.epoch() < last_epoch || snap.items_observed() < last_items {
-                monotone = false;
-            }
-            if snap.epoch() != last_epoch || (done && samples.is_empty()) {
-                samples.push(LiveQuerySample {
-                    epoch: snap.epoch(),
-                    items_covered: snap.items_observed(),
-                    estimate: snap.estimate_distinct().value,
-                    coverage: if total_items == 0 {
-                        1.0
-                    } else {
-                        snap.items_observed() as f64 / total_items as f64
-                    },
-                });
-            }
-            last_epoch = snap.epoch();
-            last_items = snap.items_observed();
-            if done {
-                break;
-            }
-            std::thread::yield_now();
-        }
-    })
-    .expect("writer thread panicked");
-    let observe_wall = observe_start.elapsed();
-
-    let final_snap = shared.snapshot();
-    let final_estimate = final_snap.estimate_distinct().value;
-    let oracle = StreamOracle::of_streams(streams.streams.iter().map(|s| s.as_slice()));
-    let truth = oracle.distinct();
-
-    LiveQueryReport {
-        samples,
-        snapshots_taken,
-        monotone,
-        final_estimate,
-        truth,
-        relative_error: gt_core::relative_error(final_estimate, truth as f64),
-        final_epoch: final_snap.epoch(),
-        parties: t,
-        total_items,
-        observe_wall,
-        concurrent_metrics: shared.metrics_snapshot(),
+    let spec = live_spec(streams, writer_threshold);
+    match crate::scenario::run_spec_on(config, master_seed, &spec, Some(streams)) {
+        ScenarioOutcome::Live(report) => report,
+        other => unreachable!("live spec dispatched to {other:?}"),
     }
 }
 
