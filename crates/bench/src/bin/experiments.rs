@@ -70,6 +70,12 @@ fn main() {
     let report = gt_bench::stats::demo_scenario();
     print!("{}", gt_bench::stats::render_stats(&report));
     println!("  json: {}", gt_bench::stats::render_stats_json(&report));
+    let delta_report = gt_bench::stats::demo_delta_scenario();
+    print!("{}", gt_bench::stats::render_delta_stats(&delta_report));
+    println!(
+        "  json: {}",
+        gt_bench::stats::render_delta_stats_json(&delta_report)
+    );
     let store_snap = gt_bench::stats::demo_store();
     print!("{}", gt_bench::stats::render_store_stats(&store_snap));
     println!(

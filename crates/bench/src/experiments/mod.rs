@@ -24,6 +24,7 @@ pub mod e20_hash_kernel;
 pub mod e21_keyed_store;
 pub mod e22_expression;
 pub mod e23_e2e;
+pub mod e24_delta;
 
 use crate::table::Table;
 
@@ -163,6 +164,12 @@ pub const REGISTRY: &[Experiment] = &[
         description:
             "end-to-end scenario suite: sustained load, latency, coverage under faults (BENCH_e2e.json)",
         run: e23_e2e::run,
+    },
+    Experiment {
+        id: "e24",
+        description:
+            "delta plane: steady-state bytes vs staleness against full re-ship (BENCH_delta.json)",
+        run: e24_delta::run,
     },
 ];
 

@@ -14,6 +14,7 @@
 use std::time::Duration;
 
 use gt_store::StoreMetricsSnapshot;
+use gt_streams::scenario::E2eReport;
 use gt_streams::ScenarioReport;
 
 fn secs(d: Duration) -> f64 {
@@ -139,6 +140,148 @@ pub fn render_stats_json(report: &ScenarioReport) -> String {
     )
 }
 
+/// Render a delta-plane continuous run's accounting as an indented,
+/// labelled plain-text block, matching [`render_stats`]'s shape.
+///
+/// Shows the frame mix (delta vs full), wire bytes and the estimated
+/// bytes saved against re-shipping a full summary per applied frame,
+/// resyncs, per-party acked generations, staleness at query time, and
+/// the live-union equivalence oracle's verdict.
+pub fn render_delta_stats(report: &E2eReport) -> String {
+    let mut out = String::new();
+    out.push_str("delta-plane stats\n");
+    let Some(d) = &report.delta else {
+        out.push_str("  (run did not use the delta plane)\n");
+        return out;
+    };
+    out.push_str(&format!(
+        "  run: {} parties, {} ticks, estimate {:.1} vs truth {} (rel err {:.4})\n",
+        report.parties, report.duration, report.final_estimate, report.truth, report.relative_error,
+    ));
+    out.push_str(&format!(
+        "  frames applied: {} delta + {} full (mean {:.0} / {:.0} bytes), {} resyncs, \
+         {} duplicates suppressed\n",
+        d.delta_frames,
+        d.full_frames,
+        d.mean_delta_frame(),
+        d.mean_full_frame(),
+        d.resyncs,
+        report.referee.duplicates(),
+    ));
+    out.push_str(&format!(
+        "  bytes: {} on the wire ({} delta + {} full applied); ~{:.0} saved vs re-shipping \
+         a full summary per frame\n",
+        report.bytes_sent,
+        d.delta_bytes,
+        d.full_bytes,
+        delta_bytes_saved(d),
+    ));
+    out.push_str(&format!(
+        "  acks: {} sent ({} lost); acked generations per party: {:?}\n",
+        d.acks_sent, d.acks_lost, d.acked_generations,
+    ));
+    out.push_str(&format!(
+        "  staleness at query time: mean {:.2} ticks, max {} ticks\n",
+        d.staleness_mean, d.staleness_max,
+    ));
+    out.push_str(&format!(
+        "  oracle: {} live-union-vs-full-ship checks, {} failures, {} skipped\n",
+        d.oracle_checks, d.oracle_failures, d.oracle_skipped,
+    ));
+    out
+}
+
+/// Render the same delta-plane accounting as a single JSON object.
+pub fn render_delta_stats_json(report: &E2eReport) -> String {
+    let Some(d) = &report.delta else {
+        return "{\"delta_plane\":false}".to_string();
+    };
+    format!(
+        concat!(
+            "{{",
+            "\"delta_plane\":true,",
+            "\"parties\":{},",
+            "\"duration_ticks\":{},",
+            "\"final_estimate\":{},",
+            "\"truth\":{},",
+            "\"relative_error\":{},",
+            "\"bytes_sent\":{},",
+            "\"delta_frames\":{},",
+            "\"full_frames\":{},",
+            "\"delta_bytes\":{},",
+            "\"full_bytes\":{},",
+            "\"mean_delta_frame\":{:.2},",
+            "\"mean_full_frame\":{:.2},",
+            "\"bytes_saved_vs_reship\":{:.0},",
+            "\"resyncs\":{},",
+            "\"duplicates\":{},",
+            "\"acks_sent\":{},",
+            "\"acks_lost\":{},",
+            "\"acked_generations\":[{}],",
+            "\"staleness_mean\":{},",
+            "\"staleness_max\":{},",
+            "\"oracle_checks\":{},",
+            "\"oracle_failures\":{},",
+            "\"oracle_skipped\":{}",
+            "}}"
+        ),
+        report.parties,
+        report.duration,
+        report.final_estimate,
+        report.truth,
+        report.relative_error,
+        report.bytes_sent,
+        d.delta_frames,
+        d.full_frames,
+        d.delta_bytes,
+        d.full_bytes,
+        d.mean_delta_frame(),
+        d.mean_full_frame(),
+        delta_bytes_saved(d),
+        d.resyncs,
+        report.referee.duplicates(),
+        d.acks_sent,
+        d.acks_lost,
+        d.acked_generations
+            .iter()
+            .map(|g| g.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        d.staleness_mean,
+        d.staleness_max,
+        d.oracle_checks,
+        d.oracle_failures,
+        d.oracle_skipped,
+    )
+}
+
+/// Estimated wire bytes saved by the delta plane against re-shipping a
+/// full summary for every applied frame, priced at this run's own mean
+/// full-frame size. Conservative: early full frames are smaller than a
+/// steady-state summary, so the true saving is at least this.
+fn delta_bytes_saved(d: &gt_streams::scenario::DeltaPlaneReport) -> f64 {
+    let frames = (d.delta_frames + d.full_frames) as f64;
+    (frames * d.mean_full_frame() - (d.delta_bytes + d.full_bytes) as f64).max(0.0)
+}
+
+/// Run a small fixed delta-plane scenario and return its report — the
+/// demo/smoke input for the delta-plane stats renderers.
+pub fn demo_delta_scenario() -> E2eReport {
+    let spec = gt_streams::scenario::ScenarioSpec::builder("stats_demo")
+        .parties(3)
+        .distinct_per_party(2_000)
+        .overlap(0.3)
+        .distribution(gt_streams::Distribution::Zipf(1.05))
+        .workload_seed(0x5_7A75)
+        .sustained(25, 120, 10)
+        .query_every(10)
+        .query_distinct()
+        .delta_plane()
+        .build();
+    let config = gt_core::SketchConfig::new(0.1, 0.05).unwrap();
+    gt_streams::scenario::run_continuous(&config, 0xC0FFEE, &spec)
+}
+
 /// Render a keyed-store snapshot as an indented, labelled plain-text
 /// block, matching [`render_stats`]'s shape.
 pub fn render_store_stats(snap: &StoreMetricsSnapshot) -> String {
@@ -222,6 +365,46 @@ mod tests {
         assert!(t.batches >= 1 && t.batches <= 4);
         assert_eq!(t.summaries_per_batch.iter().sum::<usize>(), t.batches);
         assert!((1..=4).contains(&report.union_metrics.merge_calls));
+    }
+
+    #[test]
+    fn delta_stats_report_renders_without_panicking() {
+        let report = demo_delta_scenario();
+        let human = render_delta_stats(&report);
+        assert!(human.contains("delta-plane stats"));
+        assert!(human.contains("3 parties"));
+        assert!(human.contains("frames applied:"));
+        assert!(human.contains("acked generations per party:"));
+        assert!(human.contains("staleness at query time:"));
+        assert!(human.contains("oracle:"));
+        let json = render_delta_stats_json(&report);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"delta_plane\":true"));
+        assert!(json.contains("\"delta_frames\":"));
+        assert!(json.contains("\"bytes_saved_vs_reship\":"));
+        assert!(json.contains("\"acked_generations\":["));
+        assert!(json.contains("\"oracle_failures\":0"));
+        let d = report.delta.as_ref().expect("delta plane ran");
+        assert_eq!(d.oracle_failures, 0);
+        assert_eq!(d.full_frames, 3, "one initial full frame per party");
+        assert!(d.delta_frames > 0);
+        assert_eq!(d.acked_generations.len(), 3);
+        assert!(d.acked_generations.iter().all(|&g| g > 0));
+        // A clean-channel run without the delta plane renders honestly.
+        let plain = demo_scenario_e2e_without_delta();
+        assert!(render_delta_stats(&plain).contains("did not use the delta plane"));
+        assert_eq!(render_delta_stats_json(&plain), "{\"delta_plane\":false}");
+    }
+
+    fn demo_scenario_e2e_without_delta() -> E2eReport {
+        let spec = gt_streams::scenario::ScenarioSpec::builder("stats_demo_full")
+            .parties(2)
+            .distinct_per_party(500)
+            .workload_seed(1)
+            .sustained(10, 40, 10)
+            .build();
+        let config = gt_core::SketchConfig::new(0.1, 0.05).unwrap();
+        gt_streams::scenario::run_sustained(&config, 0xC0FFEE, &spec)
     }
 
     #[test]

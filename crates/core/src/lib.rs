@@ -44,6 +44,7 @@
 pub mod bounds;
 pub mod compact;
 pub mod concurrent;
+pub mod delta;
 pub mod error;
 pub mod estimate;
 pub mod expr;
@@ -63,6 +64,7 @@ pub mod window;
 pub mod workers;
 
 pub use compact::harmonize;
+pub use delta::{apply_delta, delta_between};
 pub use concurrent::{ConcurrentSketch, ShardedSketch, SketchSnapshot, SketchWriter, WRITER_BUF};
 pub use error::{Result, SketchError};
 pub use estimate::{median_f64, quantile_f64, relative_error, Estimate};
@@ -73,7 +75,7 @@ pub use metrics::{
     SketchMetrics,
 };
 pub use params::SketchConfig;
-pub use recency::{LatestTs, RecencySketch};
+pub use recency::{estimate_distinct_since_on, LatestTs, RecencySketch};
 pub use sample::DistinctSample;
 pub use similarity::{jaccard_matrix, similarity, SimilarityEstimate};
 pub use sketch::{DistinctSketch, GtSketch, InsertStats};

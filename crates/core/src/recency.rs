@@ -94,20 +94,7 @@ impl RecencySketch {
     /// after `since`. Unbiased; additive `± ε·F₀(total)` error with
     /// probability `1 − δ` (module docs).
     pub fn estimate_distinct_since(&self, since: u64) -> Estimate {
-        let mut per_trial: Vec<f64> = self
-            .inner
-            .trials()
-            .iter()
-            .map(|t| {
-                let hits = t.sample_iter().filter(|&(_, ts)| ts.0 >= since).count();
-                hits as f64 * 2f64.powi(t.level() as i32)
-            })
-            .collect();
-        Estimate {
-            value: median_f64(&mut per_trial),
-            epsilon: self.inner.config().epsilon(),
-            delta: self.inner.config().delta(),
-        }
+        estimate_distinct_since_on(&self.inner, since)
     }
 
     /// Union with another party's sketch: per-label latest timestamps are
@@ -132,6 +119,27 @@ impl RecencySketch {
     /// The underlying generic sketch.
     pub fn inner(&self) -> &GtSketch<LatestTs> {
         &self.inner
+    }
+}
+
+/// Recency estimate over any timestamp-carrying sketch — the estimator
+/// behind [`RecencySketch::estimate_distinct_since`], exposed as a free
+/// function so aggregators that hold a raw `GtSketch<LatestTs>` (e.g. a
+/// referee's live union fed by the delta plane) can answer the same
+/// query without re-wrapping.
+pub fn estimate_distinct_since_on(sketch: &GtSketch<LatestTs>, since: u64) -> Estimate {
+    let mut per_trial: Vec<f64> = sketch
+        .trials()
+        .iter()
+        .map(|t| {
+            let hits = t.sample_iter().filter(|&(_, ts)| ts.0 >= since).count();
+            hits as f64 * 2f64.powi(t.level() as i32)
+        })
+        .collect();
+    Estimate {
+        value: median_f64(&mut per_trial),
+        epsilon: sketch.config().epsilon(),
+        delta: sketch.config().delta(),
     }
 }
 

@@ -288,6 +288,42 @@ impl<V: Payload> GtSketch<V> {
         Ok(())
     }
 
+    /// Absorb a party's **refreshed** snapshot when an older snapshot
+    /// from the same party has already been merged into `self`.
+    ///
+    /// Sample sets, levels, and payloads merge exactly as
+    /// [`GtSketch::merge_from`] — by the cumulative-stream argument in
+    /// [`crate::delta`], having merged the stale snapshot earlier leaves
+    /// the union's final sample bitwise identical to merging only the
+    /// latest one. The item counters would double-count, though, so this
+    /// variant debits the old snapshot's per-trial item counts
+    /// (`old_trial_items`, read from
+    /// [`CoordinatedTrial::items_observed`] before the refresh): the
+    /// union's counters stay equal to "each party's latest snapshot
+    /// merged exactly once", which the continuous-monitoring plane's
+    /// canonical-bytes equivalence oracle relies on.
+    ///
+    /// # Errors
+    /// Everything [`GtSketch::merge_from`] rejects, plus
+    /// [`SketchError::ConfigMismatch`] if `old_trial_items` does not
+    /// cover every trial.
+    pub fn merge_refresh_from(&mut self, new: &GtSketch<V>, old_trial_items: &[u64]) -> Result<()> {
+        if old_trial_items.len() != self.trials.len() {
+            return Err(SketchError::ConfigMismatch {
+                detail: format!(
+                    "refresh carries {} old item counters for {} trials",
+                    old_trial_items.len(),
+                    self.trials.len()
+                ),
+            });
+        }
+        self.merge_from(new)?;
+        for (trial, &old) in self.trials.iter_mut().zip(old_trial_items) {
+            trial.debit_items(old);
+        }
+        Ok(())
+    }
+
     /// Union of two sketches as a new sketch.
     pub fn merged(&self, other: &GtSketch<V>) -> Result<GtSketch<V>> {
         let mut out = self.clone();

@@ -251,6 +251,14 @@ impl<V: Payload> CoordinatedTrial<V> {
         &self.hasher
     }
 
+    /// Deduct `n` previously-credited items from the diagnostics counter
+    /// (saturating). Only [`crate::GtSketch::merge_refresh_from`] calls
+    /// this, to cancel the double-count when a party's refreshed snapshot
+    /// replaces an already-merged older one.
+    pub(crate) fn debit_items(&mut self, n: u64) {
+        self.items_observed = self.items_observed.saturating_sub(n);
+    }
+
     /// Iterate over the sampled `(label, payload)` pairs.
     pub fn sample_iter(&self) -> impl Iterator<Item = (u64, V)> + '_ {
         self.sample.iter()

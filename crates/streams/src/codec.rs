@@ -104,6 +104,144 @@ impl WirePayload for u64 {
     }
 }
 
+impl WirePayload for gt_core::LatestTs {
+    fn encode(self, buf: &mut BytesMut) {
+        put_varint(buf, self.0);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(gt_core::LatestTs(get_varint(buf)?))
+    }
+    fn encoded_len(self) -> usize {
+        varint_len(self.0)
+    }
+}
+
+/// Frame magic for the continuous-monitoring plane: "GTF" + version 1.
+/// Distinct from the one-shot sketch magic so a frame accidentally fed
+/// to [`decode_sketch`] (or vice versa) is rejected at the first word.
+const FRAME_MAGIC: u32 = 0x4754_4601;
+
+const FRAME_KIND_FULL: u8 = 0;
+const FRAME_KIND_DELTA: u8 = 1;
+
+/// One message of the continuous-monitoring plane: either a party's
+/// complete snapshot or an incremental delta against an acknowledged
+/// base (see [`gt_core::delta`]).
+///
+/// Wire layout: `FRAME_MAGIC` u32, kind u8, generation varint; delta
+/// frames continue with the base generation varint and the base
+/// fingerprint u64 (the continuation header that lets a referee detect
+/// gaps and request resync); then the canonical sketch encoding —
+/// [`encode_sketch`] bytes verbatim, magic included, so frames inherit
+/// the codec's validation, canonical-bytes property, and
+/// fingerprinting unchanged.
+#[derive(Clone, Debug)]
+pub enum Frame<V> {
+    /// A complete snapshot: generation `generation` of the sender's
+    /// sketch. Also the resync/fallback path.
+    Full {
+        /// The sender's generation counter for this snapshot.
+        generation: u64,
+        /// The decoded snapshot.
+        sketch: GtSketch<V>,
+    },
+    /// An incremental delta coded against the sender's acked base.
+    Delta {
+        /// The sender's generation counter for this snapshot.
+        generation: u64,
+        /// Generation of the acked base the delta is coded against.
+        base_generation: u64,
+        /// [`payload_fingerprint`] of the base's canonical encoding —
+        /// lets the receiver detect that its reconstruction diverged
+        /// before applying anything.
+        base_fingerprint: u64,
+        /// The difference entries ([`gt_core::delta_between`] output).
+        delta: GtSketch<V>,
+    },
+}
+
+impl<V> Frame<V> {
+    /// The sender's generation counter carried by either kind.
+    pub fn generation(&self) -> u64 {
+        match self {
+            Frame::Full { generation, .. } | Frame::Delta { generation, .. } => *generation,
+        }
+    }
+}
+
+/// Encode a complete snapshot as a monitoring-plane frame.
+pub fn encode_full_frame<V: WirePayload>(sketch: &GtSketch<V>, generation: u64) -> Bytes {
+    let body = encode_sketch(sketch);
+    let mut buf = BytesMut::with_capacity(4 + 1 + varint_len(generation) + body.len());
+    buf.put_u32(FRAME_MAGIC);
+    buf.put_u8(FRAME_KIND_FULL);
+    put_varint(&mut buf, generation);
+    buf.put_slice(&body);
+    buf.freeze()
+}
+
+/// Encode a delta (a [`gt_core::delta_between`] result) as a
+/// monitoring-plane frame with its continuation header.
+pub fn encode_delta_frame<V: WirePayload>(
+    delta: &GtSketch<V>,
+    generation: u64,
+    base_generation: u64,
+    base_fingerprint: u64,
+) -> Bytes {
+    let body = encode_sketch(delta);
+    let mut buf = BytesMut::with_capacity(
+        4 + 1 + varint_len(generation) + varint_len(base_generation) + 8 + body.len(),
+    );
+    buf.put_u32(FRAME_MAGIC);
+    buf.put_u8(FRAME_KIND_DELTA);
+    put_varint(&mut buf, generation);
+    put_varint(&mut buf, base_generation);
+    buf.put_u64(base_fingerprint);
+    buf.put_slice(&body);
+    buf.freeze()
+}
+
+/// Decode and validate a monitoring-plane frame. The embedded sketch
+/// goes through the full [`decode_sketch`] validation, so a corrupt
+/// frame is rejected, never silently applied.
+pub fn decode_frame<V: WirePayload>(mut buf: Bytes) -> Result<Frame<V>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let magic = buf.get_u32();
+    if magic != FRAME_MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    match get_u8(&mut buf)? {
+        FRAME_KIND_FULL => {
+            let generation = get_varint(&mut buf)?;
+            let sketch = decode_sketch(buf)?;
+            Ok(Frame::Full { generation, sketch })
+        }
+        FRAME_KIND_DELTA => {
+            let generation = get_varint(&mut buf)?;
+            let base_generation = get_varint(&mut buf)?;
+            if base_generation >= generation {
+                return Err(CodecError::Malformed(
+                    "delta frame base generation not older than its own",
+                ));
+            }
+            if buf.remaining() < 8 {
+                return Err(CodecError::Truncated);
+            }
+            let base_fingerprint = buf.get_u64();
+            let delta = decode_sketch(buf)?;
+            Ok(Frame::Delta {
+                generation,
+                base_generation,
+                base_fingerprint,
+                delta,
+            })
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
 /// LEB128 varint append.
 pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
@@ -988,6 +1126,106 @@ mod tests {
         }
         assert!(both_err > 0, "no mutation was ever rejected");
         assert!(both_ok > 0, "every mutation was rejected");
+    }
+
+    #[test]
+    fn frames_roundtrip_both_kinds() {
+        let mut s = DistinctSketch::new(&cfg(), 21);
+        s.extend_labels((0..4_000u64).map(gt_hash::fold61));
+        let base = s.clone();
+        s.extend_labels((4_000..6_000u64).map(gt_hash::fold61));
+
+        let full = encode_full_frame(&s, 9);
+        match decode_frame::<()>(full).unwrap() {
+            Frame::Full { generation, sketch } => {
+                assert_eq!(generation, 9);
+                assert_eq!(encode_sketch(&sketch), encode_sketch(&s));
+            }
+            other => panic!("expected full frame, got {other:?}"),
+        }
+
+        let d = gt_core::delta_between(&base, &s).unwrap();
+        let base_fp = payload_fingerprint(&encode_sketch(&base));
+        let bytes = encode_delta_frame(&d, 9, 4, base_fp);
+        match decode_frame::<()>(bytes).unwrap() {
+            Frame::Delta {
+                generation,
+                base_generation,
+                base_fingerprint,
+                delta,
+            } => {
+                assert_eq!((generation, base_generation, base_fingerprint), (9, 4, base_fp));
+                // The decoded delta must still apply exactly.
+                let mut rebuilt = base.clone();
+                gt_core::apply_delta(&mut rebuilt, &delta).unwrap();
+                assert_eq!(encode_sketch(&rebuilt), encode_sketch(&s));
+            }
+            other => panic!("expected delta frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steady_state_delta_frame_is_a_fraction_of_the_full_frame() {
+        // The tentpole's byte claim at codec granularity: few changes ->
+        // tiny frame.
+        let mut s = DistinctSketch::new(&cfg(), 33);
+        s.extend_labels((0..50_000u64).map(gt_hash::fold61));
+        let base = s.clone();
+        s.extend_labels((0..500u64).map(gt_hash::fold61)); // re-arrivals only
+        let d = gt_core::delta_between(&base, &s).unwrap();
+        let full = encode_full_frame(&s, 2).len();
+        let delta = encode_delta_frame(&d, 2, 1, 0).len();
+        assert!(
+            delta * 5 <= full,
+            "steady-state delta frame {delta}B not >=5x smaller than full {full}B"
+        );
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_not_applied() {
+        let mut s = DistinctSketch::new(&cfg(), 5);
+        s.extend_labels((0..1_000u64).map(gt_hash::fold61));
+        let bytes = encode_full_frame(&s, 3);
+        // Wrong magic (a bare sketch message is not a frame).
+        assert!(matches!(
+            decode_frame::<()>(encode_sketch(&s)),
+            Err(CodecError::BadMagic(_))
+        ));
+        // Unknown kind byte.
+        let mut raw = bytes.to_vec();
+        raw[4] = 7;
+        assert!(matches!(
+            decode_frame::<()>(Bytes::from(raw)),
+            Err(CodecError::BadTag(7))
+        ));
+        // Truncations anywhere must not panic.
+        for cut in [0, 4, 5, 6, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_frame::<()>(bytes.slice(0..cut)).is_err(), "cut {cut}");
+        }
+        // A delta frame claiming to be its own base is malformed.
+        let d = DistinctSketch::new(&cfg(), 5);
+        let frame = encode_delta_frame(&d, 4, 4, 0);
+        assert!(matches!(
+            decode_frame::<()>(frame),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn latest_ts_payloads_roundtrip_through_frames() {
+        use gt_core::LatestTs;
+        let mut s = GtSketch::<LatestTs>::new(&cfg(), 15);
+        for t in 0..3_000u64 {
+            s.insert_merging_with(gt_hash::fold61(t % 2_000), LatestTs(t));
+        }
+        let bytes = encode_sketch(&s);
+        let d: GtSketch<LatestTs> = decode_sketch(bytes.clone()).unwrap();
+        assert_eq!(encode_sketch(&d), bytes);
+        assert_eq!(bytes.len(), encoded_sketch_len(&s));
+        match decode_frame::<LatestTs>(encode_full_frame(&s, 1)).unwrap() {
+            Frame::Full { sketch, .. } => assert_eq!(encode_sketch(&sketch), bytes),
+            other => panic!("expected full frame, got {other:?}"),
+        }
     }
 
     #[test]

@@ -54,17 +54,18 @@ pub mod transport;
 pub mod workload;
 
 pub use codec::{
-    decode_sketch, decode_sketch_into, encode_sketch, encoded_sketch_len, payload_fingerprint,
-    varint_len, CodecError, DecodeScratch, WirePayload,
+    decode_frame, decode_sketch, decode_sketch_into, encode_delta_frame, encode_full_frame,
+    encode_sketch, encoded_sketch_len, payload_fingerprint, varint_len, CodecError, DecodeScratch,
+    Frame, WirePayload,
 };
 pub use collector::{collect_once, CollectionReport, Collector, PartyAttempts, RetryPolicy};
 pub use faults::{run_with_faults, FateCounts, FaultReport, FaultSpec, MessageFate};
 pub use netflow::{FlowRecord, FlowWorkload};
 pub use oracle::StreamOracle;
-pub use party::{Party, PartyMessage};
+pub use party::{DeltaParty, DeltaPartyStats, Party, PartyMessage};
 pub use referee::{
-    batch_size_bucket, PartialEstimate, PartialExpressionEstimate, PartialJaccardEstimate, Receipt,
-    Referee, RefereeOf, RefereeTelemetry, BATCH_BUCKET_LABELS,
+    batch_size_bucket, DeltaPlaneTelemetry, PartialEstimate, PartialExpressionEstimate,
+    PartialJaccardEstimate, Receipt, Referee, RefereeOf, RefereeTelemetry, BATCH_BUCKET_LABELS,
 };
 pub use runner::{
     run_expression_scenario, run_live_query_scenario, run_resilient_scenario, run_scenario,
@@ -72,10 +73,11 @@ pub use runner::{
     LiveQuerySample, PartyPhases, ResilientReport, ScenarioReport,
 };
 pub use scenario::{
-    named_suite, run_spec, run_spec_on, run_sustained, ChurnEvent, ChurnKind, DistinctSample,
-    E2eDeterminismKey, E2eReport, ExpressionSample, FaultPlan, IngestMode, JaccardSample,
-    LatencyHistogram, LoadPhase, LoadShape, QueryPlan, ScenarioBuilder, ScenarioOutcome,
-    ScenarioSpec, TopologySpec, WindowSample, WorkloadPlan, LATENCY_CLAMP,
+    named_suite, run_continuous, run_spec, run_spec_on, run_sustained, ChurnEvent, ChurnKind,
+    DeltaPlaneReport, DistinctSample, E2eDeterminismKey, E2eReport, ExpressionSample, FaultPlan,
+    IngestMode, JaccardSample, LatencyHistogram, LoadPhase, LoadShape, QueryPlan, ReportingMode,
+    ScenarioBuilder, ScenarioOutcome, ScenarioSpec, TopologySpec, WindowSample, WorkloadPlan,
+    LATENCY_CLAMP,
 };
 pub use topology::{aggregate_tree, HierarchicalReport};
 pub use transport::{Delivery, SendFate, Tick, Transport, TransportSpec, TransportTelemetry};

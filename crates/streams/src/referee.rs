@@ -31,14 +31,21 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use gt_core::{
-    merge_tree, Estimate, ExprContext, ExpressionEstimate, GtSketch, JaccardEstimate, SetExpr,
-    SketchConfig, SketchError,
+    apply_delta, merge_tree, Estimate, ExprContext, ExpressionEstimate, GtSketch, JaccardEstimate,
+    SetExpr, SketchConfig, SketchError,
 };
 
 use crate::codec::{
-    decode_sketch, decode_sketch_into, payload_fingerprint, CodecError, DecodeScratch, WirePayload,
+    decode_frame, decode_sketch, decode_sketch_into, encode_sketch, payload_fingerprint,
+    CodecError, DecodeScratch, Frame, WirePayload,
 };
 use crate::party::PartyMessage;
+
+/// Generations of applied-state fingerprints retained per party for
+/// delta-base validation; a delta whose base predates the window forces
+/// a resync (safe: the party falls back to a full frame). Matches the
+/// party side's own snapshot retention bound.
+const MAX_FP_HISTORY: usize = 64;
 
 /// Histogram bucket labels for [`RefereeTelemetry::summaries_per_batch`]:
 /// bucket `i` counts batches whose size fell in the `i`-th range.
@@ -139,6 +146,58 @@ pub enum Receipt {
     /// merged (set-union semantics make re-merging safe) but the party's
     /// `messages`/`bytes_received`/`items_reported` stay exactly-once.
     MergedVariant,
+    /// A delta frame whose base generation is unknown to the referee (or
+    /// whose base fingerprint disagrees with the state the referee
+    /// applied at that generation): nothing was merged, and the caller
+    /// must route a resync notice back to the party so it falls back to
+    /// a full frame. Only [`RefereeOf::receive_frame`] produces this.
+    NeedResync,
+}
+
+/// Delta-plane accounting: what the continuous-monitoring frame path
+/// ([`RefereeOf::receive_frame`]) did with the frames it was handed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaPlaneTelemetry {
+    /// Delta frames validated against their base and applied.
+    pub delta_frames: u64,
+    /// Full frames applied (initial ships and post-resync re-keys).
+    pub full_frames: u64,
+    /// Wire bytes of applied delta frames.
+    pub delta_bytes: u64,
+    /// Wire bytes of applied full frames.
+    pub full_bytes: u64,
+    /// Delta frames refused for an unknown or mismatched base
+    /// (each one is a resync request back to the party).
+    pub resyncs_requested: u64,
+    /// Frames suppressed as duplicates (byte-identical redelivery, or a
+    /// reordered frame at or below the party's applied watermark).
+    pub duplicate_frames: u64,
+}
+
+impl DeltaPlaneTelemetry {
+    /// Total frames applied, both kinds.
+    pub fn frames_applied(&self) -> u64 {
+        self.delta_frames + self.full_frames
+    }
+
+    /// Total wire bytes applied, both kinds.
+    pub fn bytes_applied(&self) -> u64 {
+        self.delta_bytes + self.full_bytes
+    }
+}
+
+/// Per-party state of the continuous-monitoring frame path.
+#[derive(Clone, Debug, Default)]
+struct PartyDeltaState {
+    /// Highest applied generation; frames at or below it are duplicates.
+    watermark: u64,
+    /// Cumulative items the party last reported, for exactly-once
+    /// `items_reported` accounting across refreshing frames.
+    items: u64,
+    /// `(generation, canonical-bytes fingerprint)` of recently applied
+    /// states, newest last — the base-validation window for incoming
+    /// delta frames (bounded by [`MAX_FP_HISTORY`]).
+    history: Vec<(u64, u64)>,
 }
 
 /// A degraded-mode answer: the estimate plus how much of the fleet it
@@ -275,8 +334,13 @@ pub struct RefereeOf<V: WirePayload> {
     accepted_payloads: HashMap<usize, Vec<u64>>,
     /// Per-party retained summaries: the union of every accepted payload
     /// from that party (variants merge in). Feeds the expression engine.
+    /// The frame path *replaces* a party's entry instead (cumulative
+    /// snapshots supersede, they don't accumulate).
     party_sketches: HashMap<usize, GtSketch<V>>,
+    /// Per-party watermark + base-fingerprint window of the frame path.
+    delta_state: HashMap<usize, PartyDeltaState>,
     telemetry: RefereeTelemetry,
+    delta_telemetry: DeltaPlaneTelemetry,
     /// Pooled scratch sketches for [`RefereeOf::receive_batch`]: messages
     /// decode into these in place (no per-message sketch allocation), and
     /// the pool only ever grows to the historical maximum of accepted
@@ -301,7 +365,9 @@ impl<V: WirePayload> RefereeOf<V> {
             items_reported: 0,
             accepted_payloads: HashMap::new(),
             party_sketches: HashMap::new(),
+            delta_state: HashMap::new(),
             telemetry: RefereeTelemetry::default(),
+            delta_telemetry: DeltaPlaneTelemetry::default(),
             decode_arena: Vec::new(),
             scratch: DecodeScratch::new(),
         }
@@ -345,6 +411,185 @@ impl<V: WirePayload> RefereeOf<V> {
         }
         absorb_party_sketch(&mut self.party_sketches, msg.party_id, sketch);
         Ok(self.commit_accepted(msg.party_id, fingerprint, msg.bytes(), msg.items_observed))
+    }
+
+    /// Receive one continuous-monitoring **frame** (see
+    /// [`crate::codec::Frame`]): a full cumulative snapshot, or a delta
+    /// coded against a previously acked base.
+    ///
+    /// The live union is maintained incrementally and stays **bitwise
+    /// identical** (canonical encoding) to a referee that decoded a
+    /// fresh full ship of every party's latest applied state — the
+    /// refresh merge debits the superseded snapshot's per-trial item
+    /// counters so nothing is double-counted (`tests/delta_plane.rs`
+    /// proves this over arbitrary delivery schedules).
+    ///
+    /// Idempotence and ordering: frames at or below the party's applied
+    /// watermark return [`Receipt::Duplicate`] untouched, so duplicates
+    /// and reorders are safe. A delta whose `(base generation, base
+    /// fingerprint)` is not in the referee's applied history returns
+    /// [`Receipt::NeedResync`] — the caller routes that back to the
+    /// party, which falls back to a full frame. Because parties code
+    /// deltas cumulatively against their last *acked* base, a delta is
+    /// exact on any applied state between its base and its own
+    /// generation, so lost acks never corrupt the union.
+    pub fn receive_frame(&mut self, msg: &PartyMessage) -> Result<Receipt, CodecError> {
+        let fingerprint = payload_fingerprint(&msg.payload);
+        let prior = self.accepted_payloads.get(&msg.party_id);
+        if prior.is_some_and(|fps| fps.contains(&fingerprint)) {
+            self.telemetry.duplicates_suppressed += 1;
+            self.delta_telemetry.duplicate_frames += 1;
+            return Ok(Receipt::Duplicate);
+        }
+
+        let decode_start = Instant::now();
+        let decoded = decode_frame::<V>(msg.payload.clone()).and_then(|frame| {
+            let sketch = match &frame {
+                Frame::Full { sketch, .. } => sketch,
+                Frame::Delta { delta, .. } => delta,
+            };
+            if sketch.master_seed() == self.master_seed {
+                Ok(frame)
+            } else {
+                Err(CodecError::Sketch(gt_core::SketchError::SeedMismatch))
+            }
+        });
+        self.telemetry.decode_time += decode_start.elapsed();
+        let frame = match decoded {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.telemetry.record_reject(&e);
+                return Err(e);
+            }
+        };
+
+        let watermark = self.delta_state.get(&msg.party_id).map(|s| s.watermark);
+        if watermark.is_some_and(|w| frame.generation() <= w) {
+            self.telemetry.duplicates_suppressed += 1;
+            self.delta_telemetry.duplicate_frames += 1;
+            return Ok(Receipt::Duplicate);
+        }
+
+        match frame {
+            Frame::Full { generation, sketch } => {
+                let old_items = self.party_trial_items(msg.party_id);
+                let merge_start = Instant::now();
+                let merged = self.union.merge_refresh_from(&sketch, &old_items);
+                self.telemetry.merge_time += merge_start.elapsed();
+                if let Err(e) = merged {
+                    let e = CodecError::from(e);
+                    self.telemetry.record_reject(&e);
+                    return Err(e);
+                }
+                let state_fp = payload_fingerprint(&encode_sketch(&sketch));
+                self.party_sketches.insert(msg.party_id, sketch);
+                let state = self.delta_state.entry(msg.party_id).or_default();
+                state.watermark = generation;
+                // A full frame re-keys the chain: older bases are dead.
+                state.history.clear();
+                state.history.push((generation, state_fp));
+                self.delta_telemetry.full_frames += 1;
+                self.delta_telemetry.full_bytes += msg.bytes() as u64;
+                self.commit_frame(msg.party_id, fingerprint, msg.bytes(), msg.items_observed);
+                Ok(Receipt::Merged)
+            }
+            Frame::Delta {
+                generation,
+                base_generation,
+                base_fingerprint,
+                delta,
+            } => {
+                let base_known = self.delta_state.get(&msg.party_id).is_some_and(|s| {
+                    s.history
+                        .iter()
+                        .any(|&(g, fp)| g == base_generation && fp == base_fingerprint)
+                });
+                if !base_known {
+                    self.delta_telemetry.resyncs_requested += 1;
+                    return Ok(Receipt::NeedResync);
+                }
+                let current = self
+                    .party_sketches
+                    .get(&msg.party_id)
+                    .expect("a validated delta base implies a retained party sketch");
+                let old_items: Vec<u64> =
+                    current.trials().iter().map(|t| t.items_observed()).collect();
+                let mut next = current.clone();
+                let merge_start = Instant::now();
+                let applied = apply_delta(&mut next, &delta)
+                    .and_then(|()| self.union.merge_refresh_from(&next, &old_items));
+                self.telemetry.merge_time += merge_start.elapsed();
+                if let Err(e) = applied {
+                    let e = CodecError::from(e);
+                    self.telemetry.record_reject(&e);
+                    return Err(e);
+                }
+                let state_fp = payload_fingerprint(&encode_sketch(&next));
+                self.party_sketches.insert(msg.party_id, next);
+                let state = self
+                    .delta_state
+                    .get_mut(&msg.party_id)
+                    .expect("base_known checked above");
+                state.watermark = generation;
+                // Bases older than the one just consumed can never be
+                // referenced again (the party's acked base only advances).
+                state.history.retain(|&(g, _)| g >= base_generation);
+                state.history.push((generation, state_fp));
+                if state.history.len() > MAX_FP_HISTORY {
+                    let excess = state.history.len() - MAX_FP_HISTORY;
+                    state.history.drain(..excess);
+                }
+                self.delta_telemetry.delta_frames += 1;
+                self.delta_telemetry.delta_bytes += msg.bytes() as u64;
+                self.commit_frame(msg.party_id, fingerprint, msg.bytes(), msg.items_observed);
+                Ok(Receipt::Merged)
+            }
+        }
+    }
+
+    /// Bookkeeping for one applied frame: every applied frame counts as
+    /// a message (frames supersede, they are not redeliveries), while
+    /// `items_reported` advances by the *difference* of the party's
+    /// cumulative counter so it stays exactly-once across refreshes.
+    fn commit_frame(&mut self, party_id: usize, fingerprint: u64, bytes: usize, items: u64) {
+        let fps = self.accepted_payloads.entry(party_id).or_default();
+        fps.push(fingerprint);
+        if fps.len() > MAX_FP_HISTORY {
+            let excess = fps.len() - MAX_FP_HISTORY;
+            fps.drain(..excess);
+        }
+        self.telemetry.accepted += 1;
+        self.messages += 1;
+        self.bytes_received += bytes;
+        let state = self
+            .delta_state
+            .get_mut(&party_id)
+            .expect("commit_frame follows delta_state insertion");
+        self.items_reported += items.saturating_sub(state.items);
+        state.items = items;
+    }
+
+    /// Per-trial `items_observed` counters of a party's retained
+    /// summary, or zeros if the party is unheard — the debit vector for
+    /// a refresh merge.
+    fn party_trial_items(&self, party_id: usize) -> Vec<u64> {
+        match self.party_sketches.get(&party_id) {
+            Some(s) => s.trials().iter().map(|t| t.items_observed()).collect(),
+            None => vec![0; self.union.trials().len()],
+        }
+    }
+
+    /// Highest frame generation applied for `party_id` (the generation
+    /// the caller should ack back to the party), if any frame was
+    /// applied.
+    pub fn acked_generation(&self, party_id: usize) -> Option<u64> {
+        self.delta_state.get(&party_id).map(|s| s.watermark)
+    }
+
+    /// Frame-path accounting: applied delta/full frames and bytes,
+    /// resync requests, suppressed duplicates.
+    pub fn delta_telemetry(&self) -> &DeltaPlaneTelemetry {
+        &self.delta_telemetry
     }
 
     /// Receive a whole batch of deliveries at once: fingerprint-dedup up
@@ -693,6 +938,19 @@ impl<V: WirePayload> RefereeOf<V> {
     /// party.
     pub fn items_reported(&self) -> u64 {
         self.items_reported
+    }
+}
+
+impl RefereeOf<gt_core::LatestTs> {
+    /// Distributed windowed query: estimate of distinct labels across
+    /// **all parties** whose latest arrival (at any party) is at or
+    /// after `since` — the referee-side counterpart of
+    /// [`gt_core::RecencySketch::estimate_distinct_since`], answered
+    /// from the live union (per-label timestamps reconcile by `max`
+    /// across parties, both on the classic path and under the delta
+    /// plane's refresh merges).
+    pub fn query_distinct_since(&self, since: u64) -> Estimate {
+        gt_core::estimate_distinct_since_on(&self.union, since)
     }
 }
 
@@ -1204,5 +1462,228 @@ mod tests {
         assert!(m.merge_entries_absorbed > 0);
         // Overlapping ranges: both sides sampled some labels.
         assert!(m.merge_reconciliations > 0);
+    }
+
+    // ---- delta-plane (continuous-monitoring frame path) ----
+
+    use crate::codec::encode_full_frame;
+    use crate::party::DeltaParty;
+
+    /// A full-ship oracle: a fresh referee handed one full frame of each
+    /// party's current snapshot. The live union must match it bitwise.
+    fn full_ship_union(config: &SketchConfig, seed: u64, parties: &[&DeltaParty<()>]) -> Bytes {
+        let mut oracle = Referee::new(config, seed);
+        for p in parties {
+            let msg = PartyMessage {
+                party_id: p.id(),
+                payload: encode_full_frame(p.sketch(), 1),
+                items_observed: p.sketch().items_observed(),
+            };
+            assert_eq!(oracle.receive_frame(&msg).unwrap(), Receipt::Merged);
+        }
+        encode_sketch(oracle.union_sketch())
+    }
+
+    use bytes::Bytes;
+
+    #[test]
+    fn delta_frames_maintain_a_bitwise_identical_live_union() {
+        let config = cfg();
+        let mut referee = Referee::new(&config, 9);
+        let mut parties: Vec<DeltaParty<()>> = (0..3)
+            .map(|id| DeltaParty::new(id, &config, 9))
+            .collect();
+        let mut next_label = 0u64;
+        for round in 0..6 {
+            for p in parties.iter_mut() {
+                // Growing, overlapping streams; volume forces level raises.
+                for i in 0..400u64 {
+                    p.observe_with(gt_hash::fold61(next_label + i + p.id() as u64 * 123), ());
+                }
+                next_label += 150;
+                let msg = p.emit_frame();
+                assert_eq!(referee.receive_frame(&msg).unwrap(), Receipt::Merged);
+                p.handle_ack(referee.acked_generation(p.id()).unwrap());
+            }
+            // The live union is bitwise the full-ship union at every ack
+            // point, not just at the end.
+            let live = encode_sketch(referee.union_sketch());
+            let oracle = full_ship_union(&config, 9, &parties.iter().collect::<Vec<_>>());
+            assert_eq!(live, oracle, "diverged at round {round}");
+        }
+        let t = referee.delta_telemetry();
+        assert_eq!(t.full_frames, 3, "one initial full ship per party");
+        assert_eq!(t.delta_frames, 15, "every later round ships deltas");
+        assert_eq!(t.resyncs_requested, 0);
+        // Steady-state deltas are much cheaper than full snapshots.
+        assert!(
+            t.delta_bytes / t.delta_frames < t.full_bytes / t.full_frames,
+            "delta {} full {}",
+            t.delta_bytes / t.delta_frames,
+            t.full_bytes / t.full_frames
+        );
+    }
+
+    #[test]
+    fn duplicate_and_reordered_frames_are_suppressed() {
+        let config = cfg();
+        let mut referee = Referee::new(&config, 3);
+        let mut p = DeltaParty::<()>::new(0, &config, 3);
+        for i in 0..500u64 {
+            p.observe_with(gt_hash::fold61(i), ());
+        }
+        let full = p.emit_frame();
+        assert_eq!(referee.receive_frame(&full).unwrap(), Receipt::Merged);
+        p.handle_ack(1);
+        for i in 500..600u64 {
+            p.observe_with(gt_hash::fold61(i), ());
+        }
+        let delta = p.emit_frame();
+        assert_eq!(referee.receive_frame(&delta).unwrap(), Receipt::Merged);
+        let before = encode_sketch(referee.union_sketch());
+
+        // Byte-identical redelivery of both frames, then the stale full
+        // frame again (a reorder past the watermark): all suppressed.
+        assert_eq!(referee.receive_frame(&delta).unwrap(), Receipt::Duplicate);
+        assert_eq!(referee.receive_frame(&full).unwrap(), Receipt::Duplicate);
+        assert_eq!(encode_sketch(referee.union_sketch()), before);
+        assert_eq!(referee.delta_telemetry().duplicate_frames, 2);
+        assert_eq!(referee.messages(), 2);
+        assert_eq!(
+            referee.items_reported(),
+            p.sketch().items_observed(),
+            "refresh accounting keeps items exactly-once"
+        );
+    }
+
+    #[test]
+    fn unknown_or_mismatched_base_requests_resync() {
+        let config = cfg();
+        let mut referee = Referee::new(&config, 7);
+        // The party believes generation 1 was acked, but the referee
+        // never saw it (the full frame was lost past the retry budget).
+        let mut p = DeltaParty::<()>::new(0, &config, 7);
+        for i in 0..300u64 {
+            p.observe_with(gt_hash::fold61(i), ());
+        }
+        let _lost = p.emit_frame();
+        p.handle_ack(1);
+        for i in 300..350u64 {
+            p.observe_with(gt_hash::fold61(i), ());
+        }
+        let orphan_delta = p.emit_frame();
+        assert_eq!(
+            referee.receive_frame(&orphan_delta).unwrap(),
+            Receipt::NeedResync
+        );
+        assert_eq!(referee.delta_telemetry().resyncs_requested, 1);
+        assert_eq!(referee.parties_heard(), 0, "nothing was merged");
+
+        // The resync notice makes the party fall back to a full frame.
+        p.handle_resync();
+        let recovery = p.emit_frame();
+        assert_eq!(referee.receive_frame(&recovery).unwrap(), Receipt::Merged);
+        assert_eq!(
+            encode_sketch(referee.union_sketch()),
+            encode_sketch(p.sketch()),
+        );
+
+        // Mismatched base: a forked party instance under the same id
+        // whose generation-1 state differs from what the referee
+        // applied. Its delta must clear the watermark (the referee is at
+        // generation 3 for this party) so that only the base-fingerprint
+        // check can — and must — reject it.
+        let mut fork = DeltaParty::<()>::new(0, &config, 7);
+        for i in 1000..1300u64 {
+            fork.observe_with(gt_hash::fold61(i), ());
+        }
+        let _lost = fork.emit_frame(); // gen 1, never delivered
+        fork.handle_ack(1);
+        for skip in [2u64, 3] {
+            for i in 1300 + skip * 20..1320 + skip * 20 {
+                fork.observe_with(gt_hash::fold61(i), ());
+            }
+            let _skipped = fork.emit_frame(); // gens 2 and 3, never delivered
+        }
+        for i in 1400..1420u64 {
+            fork.observe_with(gt_hash::fold61(i), ());
+        }
+        let fork_delta = fork.emit_frame(); // gen 4 against the fork's own gen-1 base
+        assert_eq!(
+            referee.receive_frame(&fork_delta).unwrap(),
+            Receipt::NeedResync,
+            "base fingerprint mismatch must refuse the delta"
+        );
+        assert_eq!(referee.delta_telemetry().resyncs_requested, 2);
+    }
+
+    #[test]
+    fn lost_acks_still_apply_cumulative_deltas_exactly() {
+        let config = cfg();
+        let mut referee = Referee::new(&config, 11);
+        let mut p = DeltaParty::<()>::new(0, &config, 11);
+        for i in 0..400u64 {
+            p.observe_with(gt_hash::fold61(i), ());
+        }
+        let full = p.emit_frame();
+        assert_eq!(referee.receive_frame(&full).unwrap(), Receipt::Merged);
+        p.handle_ack(1);
+
+        // Delta generation 2 reaches the referee, but its ack is lost:
+        // the party keeps coding against the generation-1 base.
+        for i in 400..700u64 {
+            p.observe_with(gt_hash::fold61(i), ());
+        }
+        let d2 = p.emit_frame();
+        assert_eq!(referee.receive_frame(&d2).unwrap(), Receipt::Merged);
+        // (no handle_ack: the ack vanished)
+
+        for i in 700..1100u64 {
+            p.observe_with(gt_hash::fold61(i), ());
+        }
+        let d3 = p.emit_frame(); // still base generation 1
+        assert_eq!(
+            referee.receive_frame(&d3).unwrap(),
+            Receipt::Merged,
+            "cumulative delta applies on the newer intermediate state"
+        );
+        assert_eq!(
+            encode_sketch(referee.union_sketch()),
+            encode_sketch(p.sketch()),
+            "live union bitwise equals the party's own state"
+        );
+        assert_eq!(referee.acked_generation(0), Some(3));
+    }
+
+    #[test]
+    fn windowed_query_answers_from_the_live_union() {
+        let config = cfg();
+        let mut referee: RefereeOf<gt_core::LatestTs> = RefereeOf::new(&config, 13);
+        let mut a = DeltaParty::<gt_core::LatestTs>::new(0, &config, 13);
+        let mut b = DeltaParty::<gt_core::LatestTs>::new(1, &config, 13);
+        // Under-capacity so the recency estimate is exact: 60 labels at
+        // t=10; 20 of them re-arrive at party b at t=30.
+        for i in 0..60u64 {
+            a.observe_with(gt_hash::fold61(i), gt_core::LatestTs(10));
+        }
+        for i in 0..20u64 {
+            b.observe_with(gt_hash::fold61(i), gt_core::LatestTs(30));
+        }
+        for p in [&mut a, &mut b] {
+            let msg = p.emit_frame();
+            assert_eq!(referee.receive_frame(&msg).unwrap(), Receipt::Merged);
+            p.handle_ack(1);
+        }
+        assert_eq!(referee.query_distinct_since(0).value, 60.0);
+        assert_eq!(referee.query_distinct_since(20).value, 20.0);
+        // The window keeps answering as deltas stream in.
+        for i in 60..90u64 {
+            a.observe_with(gt_hash::fold61(i), gt_core::LatestTs(50));
+        }
+        let msg = a.emit_frame();
+        assert_eq!(referee.receive_frame(&msg).unwrap(), Receipt::Merged);
+        assert_eq!(referee.query_distinct_since(40).value, 30.0);
+        assert_eq!(referee.query_distinct_since(20).value, 50.0);
+        assert_eq!(referee.query_distinct_since(0).value, 90.0);
     }
 }

@@ -53,13 +53,13 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use gt_core::{DistinctSketch, SetExpr, SketchConfig, SlidingWindowSketch};
+use gt_core::{DistinctSketch, LatestTs, SetExpr, SketchConfig, SlidingWindowSketch};
 
-use crate::codec::{encode_sketch, payload_fingerprint};
+use crate::codec::{encode_full_frame, encode_sketch, payload_fingerprint, WirePayload};
 use crate::collector::{Collector, RetryPolicy};
 use crate::oracle::StreamOracle;
-use crate::party::{Party, PartyMessage};
-use crate::referee::{Receipt, Referee, RefereeTelemetry};
+use crate::party::{DeltaParty, Party, PartyMessage};
+use crate::referee::{Receipt, Referee, RefereeOf, RefereeTelemetry};
 use crate::runner::{
     ExpressionQueryOutcome, ExpressionScenarioReport, JaccardQueryOutcome, LiveQueryReport,
     LiveQuerySample, PartyPhases, ResilientReport, ScenarioReport,
@@ -101,6 +101,29 @@ pub struct TopologySpec {
     pub parties: usize,
     /// Ingest mode for batch engines.
     pub ingest: IngestMode,
+    /// Aggregate batch-load summaries through a collector tree of this
+    /// depth instead of shipping every party message straight to the
+    /// referee (`None` = flat). The fan-out is derived so the tree has
+    /// exactly this many merge tiers; the root union is **bitwise
+    /// identical** to the flat union ([`crate::topology`]).
+    pub tree_depth: Option<usize>,
+}
+
+/// How parties report their summaries over time (sustained load only;
+/// batch load always ships one end-of-stream summary).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReportingMode {
+    /// Every report re-ships the party's full cumulative summary —
+    /// `O(summary)` bytes per cadence tick (the paper's one-shot model,
+    /// repeated).
+    #[default]
+    FullReship,
+    /// The continuous-monitoring delta plane: parties ship compact
+    /// [`crate::codec::Frame`]s — a full frame first, then deltas coded
+    /// against the last acked base — and the referee maintains a live
+    /// union that is bitwise identical to a fresh full ship at every
+    /// ack point. `O(changes)` bytes per cadence tick in steady state.
+    DeltaPlane,
 }
 
 /// A rate-multiplier window for the sustained engine: between `from`
@@ -243,6 +266,8 @@ pub struct ScenarioSpec {
     pub faults: FaultPlan,
     /// Live query plan.
     pub queries: QueryPlan,
+    /// Full re-ship vs incremental delta frames (sustained load only).
+    pub reporting: ReportingMode,
 }
 
 impl ScenarioSpec {
@@ -257,6 +282,7 @@ impl ScenarioSpec {
                 topology: TopologySpec {
                     parties: 4,
                     ingest: IngestMode::PerPartyThreads,
+                    tree_depth: None,
                 },
                 workload: WorkloadPlan {
                     distinct_per_party: 1_000,
@@ -273,6 +299,7 @@ impl ScenarioSpec {
                     churn: Vec::new(),
                 },
                 queries: QueryPlan::default(),
+                reporting: ReportingMode::default(),
             },
         }
     }
@@ -294,6 +321,21 @@ impl ScenarioBuilder {
     /// Batch ingest mode.
     pub fn ingest(mut self, mode: IngestMode) -> Self {
         self.spec.topology.ingest = mode;
+        self
+    }
+
+    /// Route batch-load summaries through a collector tree with this
+    /// many merge tiers (see [`TopologySpec::tree_depth`]).
+    pub fn tree_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "a tree needs at least one merge tier");
+        self.spec.topology.tree_depth = Some(depth);
+        self
+    }
+
+    /// Report via the continuous-monitoring delta plane instead of full
+    /// re-ships (see [`ReportingMode::DeltaPlane`]; sustained load only).
+    pub fn delta_plane(mut self) -> Self {
+        self.spec.reporting = ReportingMode::DeltaPlane;
         self
     }
 
@@ -501,9 +543,14 @@ pub fn run_spec_on(
     streams: Option<&StreamSet>,
 ) -> ScenarioOutcome {
     match &spec.workload.load {
-        LoadShape::Sustained { .. } => {
-            ScenarioOutcome::Sustained(Box::new(run_sustained(config, master_seed, spec)))
-        }
+        LoadShape::Sustained { .. } => match spec.reporting {
+            ReportingMode::FullReship => {
+                ScenarioOutcome::Sustained(Box::new(run_sustained(config, master_seed, spec)))
+            }
+            ReportingMode::DeltaPlane => {
+                ScenarioOutcome::Sustained(Box::new(run_continuous(config, master_seed, spec)))
+            }
+        },
         LoadShape::Batch { .. } => {
             let generated;
             let streams = match streams {
@@ -521,6 +568,19 @@ pub fn run_spec_on(
                 spec.topology.parties,
                 "stream set does not match the topology"
             );
+            if let Some(depth) = spec.topology.tree_depth {
+                assert!(
+                    spec.faults.transport.is_none()
+                        && !matches!(spec.topology.ingest, IngestMode::SharedConcurrent { .. }),
+                    "tree aggregation composes with the classic batch engine only"
+                );
+                return ScenarioOutcome::Classic(run_tree_engine(
+                    config,
+                    master_seed,
+                    streams,
+                    depth,
+                ));
+            }
             if let IngestMode::SharedConcurrent { writer_threshold } = spec.topology.ingest {
                 return ScenarioOutcome::Live(run_live_engine(
                     config,
@@ -663,6 +723,89 @@ pub(crate) fn run_classic_engine(
         parties: t,
         total_items: streams.total_items(),
         total_bytes: bytes_per_party.iter().sum(),
+        bytes_per_party,
+        party_phases,
+        observe_wall,
+        referee_telemetry: *referee.telemetry(),
+        union_metrics: referee.union_metrics(),
+        referee_time,
+    }
+}
+
+/// The fan-out that gives a `depth`-tier collector tree over `parties`
+/// leaves: the smallest `f ≥ 2` with `f^depth ≥ parties`.
+pub(crate) fn tree_fanout_for_depth(parties: usize, depth: usize) -> usize {
+    assert!(depth >= 1, "a tree needs at least one merge tier");
+    let mut fanout = 2usize.max((parties as f64).powf(1.0 / depth as f64).ceil() as usize);
+    // powf rounding can land one off in either direction; walk to the
+    // exact smallest fan-out.
+    while fanout > 2 && (fanout - 1).pow(depth as u32) >= parties {
+        fanout -= 1;
+    }
+    while fanout.pow(depth as u32) < parties {
+        fanout += 1;
+    }
+    fanout
+}
+
+/// Tree engine: serial observation, then hierarchical aggregation
+/// through intermediate collectors ([`crate::topology::aggregate_tree`])
+/// with the fan-out derived from the requested depth; the referee
+/// receives the single root message. The union — and therefore the
+/// estimate — is bitwise identical to the flat classic engine on the
+/// same seed (the tree reassociation is lossless), which
+/// `tree_union_is_bitwise_identical_to_flat` pins.
+pub(crate) fn run_tree_engine(
+    config: &SketchConfig,
+    master_seed: u64,
+    streams: &StreamSet,
+    depth: usize,
+) -> ScenarioReport {
+    let t = streams.streams.len();
+    assert!(t > 0, "need at least one party");
+    let fanout = tree_fanout_for_depth(t, depth);
+
+    let observe_start = Instant::now();
+    let mut bytes_per_party = vec![0usize; t];
+    let mut party_phases = vec![PartyPhases::default(); t];
+    let mut messages: Vec<PartyMessage> = Vec::with_capacity(t);
+    for (id, stream) in streams.streams.iter().enumerate() {
+        let mut party = Party::new(id, config, master_seed);
+        let observe_start = Instant::now();
+        party.observe_stream(stream);
+        let observe = observe_start.elapsed();
+        let encode_start = Instant::now();
+        let msg = party.finish();
+        let encode = encode_start.elapsed();
+        bytes_per_party[id] = msg.bytes();
+        party_phases[id] = PartyPhases { observe, encode };
+        messages.push(msg);
+    }
+    let observe_wall = observe_start.elapsed();
+
+    let busy_start = Instant::now();
+    let tree = crate::topology::aggregate_tree(config, master_seed, messages, fanout)
+        .expect("coordinated messages must aggregate");
+    let mut referee = Referee::new(config, master_seed);
+    referee
+        .receive(&PartyMessage {
+            party_id: 0,
+            payload: tree.root_canonical.clone(),
+            items_observed: streams.total_items(),
+        })
+        .expect("root message must decode");
+    let estimate = referee.estimate_distinct().value;
+    let referee_time = busy_start.elapsed();
+
+    let oracle = StreamOracle::of_streams(streams.streams.iter().map(|s| s.as_slice()));
+    let truth = oracle.distinct();
+    ScenarioReport {
+        estimate,
+        truth,
+        relative_error: gt_core::relative_error(estimate, truth as f64),
+        parties: t,
+        total_items: streams.total_items(),
+        total_bytes: tree.bytes_per_tier.iter().sum(),
         bytes_per_party,
         party_phases,
         observe_wall,
@@ -1048,6 +1191,66 @@ pub struct JaccardSample {
     pub coverage: f64,
 }
 
+/// What the continuous-monitoring delta plane did during a sustained
+/// run — present on [`E2eReport::delta`] when the scenario used
+/// [`ReportingMode::DeltaPlane`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeltaPlaneReport {
+    /// Delta frames applied by the referee.
+    pub delta_frames: u64,
+    /// Full frames applied (initial ships and post-resync re-keys).
+    pub full_frames: u64,
+    /// Wire bytes of applied delta frames.
+    pub delta_bytes: u64,
+    /// Wire bytes of applied full frames.
+    pub full_bytes: u64,
+    /// Resyncs requested (delta refused for an unknown/mismatched base).
+    pub resyncs: u64,
+    /// Per-generation acks sent back to parties.
+    pub acks_sent: u64,
+    /// Acks lost on the return path ([`RetryPolicy::ack_drop_probability`]).
+    pub acks_lost: u64,
+    /// Final acked (applied) generation per party, indexed by party id
+    /// (0 = never heard).
+    pub acked_generations: Vec<u64>,
+    /// Mean over query ticks of the worst per-party estimate staleness,
+    /// in virtual ticks (tick of query minus encode tick of the last
+    /// applied frame).
+    pub staleness_mean: f64,
+    /// Worst staleness observed at any query tick.
+    pub staleness_max: Tick,
+    /// Bitwise live-union-vs-full-ship equivalence checks run (one per
+    /// tick that applied at least one frame).
+    pub oracle_checks: u64,
+    /// Equivalence checks that failed — **must be zero**; a nonzero
+    /// count means the incremental union diverged from a fresh full
+    /// ship.
+    pub oracle_failures: u64,
+    /// Checks skipped because a party had already pruned the snapshot
+    /// for its acked generation (mid-resync windows).
+    pub oracle_skipped: u64,
+}
+
+impl DeltaPlaneReport {
+    /// Mean applied delta-frame size in bytes (0 when none).
+    pub fn mean_delta_frame(&self) -> f64 {
+        if self.delta_frames == 0 {
+            0.0
+        } else {
+            self.delta_bytes as f64 / self.delta_frames as f64
+        }
+    }
+
+    /// Mean applied full-frame size in bytes (0 when none).
+    pub fn mean_full_frame(&self) -> f64 {
+        if self.full_frames == 0 {
+            0.0
+        } else {
+            self.full_bytes as f64 / self.full_frames as f64
+        }
+    }
+}
+
 /// Everything a sustained-rate scenario run measured.
 #[derive(Clone, Debug)]
 pub struct E2eReport {
@@ -1094,6 +1297,12 @@ pub struct E2eReport {
     /// Canonical encoded bytes of the final union sketch — the bitwise
     /// determinism witness.
     pub union_canonical: bytes::Bytes,
+    /// Total summary bytes put on the wire (first sends + engine-driven
+    /// retransmits; the steady-state communication cost E24 measures).
+    pub bytes_sent: u64,
+    /// Delta-plane accounting, when the run used
+    /// [`ReportingMode::DeltaPlane`].
+    pub delta: Option<DeltaPlaneReport>,
     /// Wall time of the whole run (diagnostics only — never asserted).
     pub run_wall: std::time::Duration,
 }
@@ -1127,8 +1336,20 @@ impl E2eReport {
     /// property `tests/scenario_determinism.rs` checks.
     pub fn determinism_key(&self) -> E2eDeterminismKey {
         let r = &self.referee;
+        let d = self.delta.clone().unwrap_or_default();
         E2eDeterminismKey {
             union_canonical: self.union_canonical.clone(),
+            bytes_sent: self.bytes_sent,
+            delta_counts: [
+                d.delta_frames,
+                d.full_frames,
+                d.delta_bytes,
+                d.full_bytes,
+                d.resyncs,
+                d.acks_sent,
+                d.acks_lost,
+                d.oracle_failures,
+            ],
             latency: self.latency.clone(),
             total_items: self.total_items,
             items_acked: self.items_acked,
@@ -1176,6 +1397,11 @@ impl E2eReport {
 pub struct E2eDeterminismKey {
     /// Canonical encoded bytes of the final union sketch.
     pub union_canonical: bytes::Bytes,
+    /// Summary bytes put on the wire.
+    pub bytes_sent: u64,
+    /// Delta-plane counts: delta/full frames, delta/full bytes, resyncs,
+    /// acks sent/lost, oracle failures (all zero off the delta plane).
+    pub delta_counts: [u64; 8],
     /// Full latency histogram.
     pub latency: LatencyHistogram,
     /// Items generated.
@@ -1381,6 +1607,7 @@ pub fn run_sustained(config: &SketchConfig, master_seed: u64, spec: &ScenarioSpe
     let mut total_items = 0u64;
     let mut items_acked = 0u64;
     let mut reports_sent = 0usize;
+    let mut bytes_sent = 0u64;
     let mut gen_buf: Vec<u64> = Vec::new();
     let mut distinct_samples = Vec::new();
     let mut window_samples = Vec::new();
@@ -1444,6 +1671,7 @@ pub fn run_sustained(config: &SketchConfig, master_seed: u64, spec: &ScenarioSpe
             rt.last_encoded_items = rt.generated;
             rt.sends += 1;
             reports_sent += 1;
+            bytes_sent += msg.bytes() as u64;
             transport.send(msg);
         }
 
@@ -1543,6 +1771,7 @@ pub fn run_sustained(config: &SketchConfig, master_seed: u64, spec: &ScenarioSpe
         for p in needy {
             let (_, msg) = ps[p].last_encode.clone().expect("checked above");
             ps[p].sends += 1;
+            bytes_sent += msg.bytes() as u64;
             transport.send(msg);
         }
         let deadline = transport.now().saturating_add(timeout);
@@ -1605,6 +1834,546 @@ pub fn run_sustained(config: &SketchConfig, master_seed: u64, spec: &ScenarioSpe
         transport: transport.telemetry(),
         referee: *referee.telemetry(),
         union_canonical: encode_sketch(referee.union_sketch()),
+        bytes_sent,
+        delta: None,
+        run_wall: wall_start.elapsed(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Continuous-monitoring engine (delta plane)
+// ---------------------------------------------------------------------
+
+/// Per-party runtime state of the continuous-monitoring engine.
+struct ContinuousRt<V: WirePayload + PartialEq> {
+    dp: DeltaParty<V>,
+    rng: SmallRng,
+    universe: Vec<u64>,
+    zipf: Option<ZipfSampler>,
+    each_once: bool,
+    /// Items generated but not yet covered by an applied frame.
+    pending: VecDeque<(Tick, u64)>,
+    generated: u64,
+    /// Items covered by the most recent emitted frame.
+    last_emitted_items: u64,
+    /// Most recent frame and its encode tick, for retransmits.
+    last_frame: Option<(Tick, PartyMessage)>,
+    /// Encode tick of the newest frame the referee applied — the
+    /// staleness anchor for this party.
+    applied_emit_tick: Option<Tick>,
+    /// A resync notice arrived: the next emission must happen even if no
+    /// new items did (it re-keys the chain with a full frame).
+    needs_reemit: bool,
+    joined_at: Tick,
+    leave_at: Option<Tick>,
+    graceful: bool,
+    sends: usize,
+}
+
+impl<V: WirePayload + PartialEq> ContinuousRt<V> {
+    fn draw(&mut self) -> u64 {
+        let idx = match &self.zipf {
+            Some(z) => z.sample(&mut self.rng) as usize,
+            None if self.each_once => (self.generated as usize) % self.universe.len(),
+            None => self.rng.gen_range(0..self.universe.len()),
+        };
+        self.universe[idx]
+    }
+
+    fn generating(&self, t: Tick) -> bool {
+        self.joined_at <= t && self.leave_at.is_none_or(|l| t < l)
+    }
+
+    fn can_send(&self, t: Tick) -> bool {
+        self.joined_at <= t
+            && match self.leave_at {
+                None => true,
+                Some(l) => t < l || (t == l && self.graceful),
+            }
+    }
+}
+
+/// Feed one tick's deliveries to the frame path, account latency, and
+/// drive the per-generation ack/resync return channel. Returns whether
+/// any frame was applied (an ack point — the oracle checks there).
+#[allow(clippy::too_many_arguments)]
+fn absorb_frame_deliveries<V: WirePayload + PartialEq>(
+    deliveries: &[Delivery],
+    referee: &mut RefereeOf<V>,
+    meta: &HashMap<(usize, u64), Tick>,
+    ps: &mut [ContinuousRt<V>],
+    hist: &mut LatencyHistogram,
+    items_acked: &mut u64,
+    ack_rng: &mut SmallRng,
+    ack_drop: f64,
+    report: &mut DeltaPlaneReport,
+) -> bool {
+    let mut any_applied = false;
+    for d in deliveries {
+        let p = d.msg.party_id;
+        match referee.receive_frame(&d.msg) {
+            Ok(Receipt::Merged) => {
+                any_applied = true;
+                let fp = payload_fingerprint(&d.msg.payload);
+                if let Some(&enc) = meta.get(&(p, fp)) {
+                    let rt = &mut ps[p];
+                    rt.applied_emit_tick = Some(rt.applied_emit_tick.map_or(enc, |a| a.max(enc)));
+                    while let Some(&(gen_tick, n)) = rt.pending.front() {
+                        if gen_tick > enc {
+                            break;
+                        }
+                        hist.record(d.at.saturating_sub(gen_tick), n);
+                        *items_acked += n;
+                        rt.pending.pop_front();
+                    }
+                }
+                send_generation_ack(referee, ps, p, ack_rng, ack_drop, report);
+            }
+            // Re-ack duplicates: the original ack may be the thing that
+            // was lost, and the cumulative ack lets the party advance
+            // its base and prune snapshots.
+            Ok(Receipt::Duplicate) => {
+                send_generation_ack(referee, ps, p, ack_rng, ack_drop, report);
+            }
+            Ok(Receipt::NeedResync) => {
+                ps[p].dp.handle_resync();
+                ps[p].needs_reemit = true;
+            }
+            // MergedVariant is unreachable on the frame path; corrupt
+            // deliveries error out and are counted by referee telemetry.
+            Ok(Receipt::MergedVariant) | Err(_) => {}
+        }
+    }
+    any_applied
+}
+
+/// Route the referee's cumulative per-generation ack back to a party,
+/// subject to return-path loss.
+fn send_generation_ack<V: WirePayload + PartialEq>(
+    referee: &RefereeOf<V>,
+    ps: &mut [ContinuousRt<V>],
+    party: usize,
+    ack_rng: &mut SmallRng,
+    ack_drop: f64,
+    report: &mut DeltaPlaneReport,
+) {
+    let Some(generation) = referee.acked_generation(party) else {
+        return;
+    };
+    report.acks_sent += 1;
+    if ack_drop > 0.0 && ack_rng.gen_bool(ack_drop) {
+        report.acks_lost += 1;
+        return;
+    }
+    ps[party].dp.handle_ack(generation);
+}
+
+/// The always-on equivalence oracle: a fresh referee full-shipped each
+/// party's snapshot at its applied generation must produce canonical
+/// union bytes identical to the live union. `None` when some party has
+/// already pruned the needed snapshot (mid-resync window) — the check
+/// is skipped, not failed.
+fn live_union_matches_full_ship<V: WirePayload + PartialEq>(
+    config: &SketchConfig,
+    master_seed: u64,
+    referee: &RefereeOf<V>,
+    ps: &[ContinuousRt<V>],
+) -> Option<bool> {
+    let mut oracle: RefereeOf<V> = RefereeOf::new(config, master_seed);
+    for (p, rt) in ps.iter().enumerate() {
+        let Some(generation) = referee.acked_generation(p) else {
+            continue;
+        };
+        let snap = rt.dp.snapshot_for(generation)?;
+        let msg = PartyMessage {
+            party_id: p,
+            payload: encode_full_frame(snap, 1),
+            items_observed: snap.items_observed(),
+        };
+        if !matches!(oracle.receive_frame(&msg), Ok(Receipt::Merged)) {
+            return Some(false);
+        }
+    }
+    Some(encode_sketch(oracle.union_sketch()) == encode_sketch(referee.union_sketch()))
+}
+
+/// Run a sustained-load spec through the continuous-monitoring delta
+/// plane: parties ship delta frames on the report cadence, the referee
+/// maintains a live union with per-generation acks (and resyncs) on the
+/// return path, and live queries — including the distributed windowed
+/// query — are answered from the referee between deltas.
+///
+/// Windowed queries are answered **referee-side** (timestamps travel in
+/// the frames as [`LatestTs`] payloads and reconcile by `max`), unlike
+/// [`run_sustained`]'s party-side merge — so their error includes the
+/// reporting staleness this engine measures.
+///
+/// # Panics
+/// Panics if the spec's load shape is not [`LoadShape::Sustained`].
+pub fn run_continuous(config: &SketchConfig, master_seed: u64, spec: &ScenarioSpec) -> E2eReport {
+    if spec.queries.window.is_some() {
+        run_continuous_impl::<LatestTs>(config, master_seed, spec, LatestTs, |r, now, w| {
+            r.query_distinct_since(now.saturating_sub(w).saturating_add(1))
+                .value
+        })
+    } else {
+        run_continuous_impl::<()>(config, master_seed, spec, |_| (), |_, _, _| 0.0)
+    }
+}
+
+fn run_continuous_impl<V: WirePayload + PartialEq>(
+    config: &SketchConfig,
+    master_seed: u64,
+    spec: &ScenarioSpec,
+    payload_at: impl Fn(Tick) -> V,
+    window_answer: impl Fn(&RefereeOf<V>, Tick, Tick) -> f64,
+) -> E2eReport {
+    let wall_start = Instant::now();
+    let LoadShape::Sustained {
+        rate_per_party,
+        duration,
+        report_every,
+        ref phases,
+    } = spec.workload.load
+    else {
+        panic!("run_continuous requires LoadShape::Sustained");
+    };
+    let parties = spec.topology.parties;
+    assert!(parties > 0, "need at least one party");
+    let report_every = report_every.max(1);
+    let query_every = spec.queries.every.max(1);
+    let wants_queries = spec.queries.distinct
+        || spec.queries.window.is_some()
+        || !spec.queries.expressions.is_empty()
+        || !spec.queries.jaccard.is_empty();
+
+    let wl = spec.workload.to_workload_spec(parties);
+    let mut ps: Vec<ContinuousRt<V>> = (0..parties)
+        .map(|p| {
+            let universe: Vec<u64> = wl.party_universe(p).collect();
+            let zipf = match spec.workload.distribution {
+                Distribution::Zipf(theta) if theta > 0.0 => {
+                    Some(ZipfSampler::new(universe.len() as u64, theta))
+                }
+                _ => None,
+            };
+            ContinuousRt {
+                dp: DeltaParty::new(p, config, master_seed),
+                rng: SmallRng::seed_from_u64(wl.seed ^ gt_hash::mix64(0x57EA_4000 + p as u64)),
+                universe,
+                zipf,
+                each_once: spec.workload.distribution == Distribution::EachOnce,
+                pending: VecDeque::new(),
+                generated: 0,
+                last_emitted_items: 0,
+                last_frame: None,
+                applied_emit_tick: None,
+                needs_reemit: false,
+                joined_at: 0,
+                leave_at: None,
+                graceful: false,
+                sends: 0,
+            }
+        })
+        .collect();
+    for ev in &spec.faults.churn {
+        assert!(ev.party < parties, "churn references party {}", ev.party);
+        match ev.kind {
+            ChurnKind::Join => ps[ev.party].joined_at = ev.at,
+            ChurnKind::GracefulLeave => {
+                ps[ev.party].leave_at = Some(ev.at);
+                ps[ev.party].graceful = true;
+            }
+            ChurnKind::Crash => {
+                ps[ev.party].leave_at = Some(ev.at);
+                ps[ev.party].graceful = false;
+            }
+        }
+    }
+
+    let tspec = spec
+        .faults
+        .transport
+        .unwrap_or_else(|| TransportSpec::reliable(wl.seed ^ 0x51AE));
+    let mut transport = Transport::new(tspec);
+    let mut referee: RefereeOf<V> = RefereeOf::new(config, master_seed);
+    // The ack return path owns its own RNG stream, exactly like the
+    // collector's, so forward fates are identical with and without ack
+    // loss.
+    let mut ack_rng = SmallRng::seed_from_u64(wl.seed ^ 0xACC0_ACC0_ACC0_ACC0);
+    let ack_drop = spec.faults.retry.ack_drop_probability.clamp(0.0, 1.0);
+    let mut delta_report = DeltaPlaneReport::default();
+    let mut meta: HashMap<(usize, u64), Tick> = HashMap::new();
+    let mut hist = LatencyHistogram::default();
+    let mut seen_exact: HashSet<u64> = HashSet::new();
+    let mut last_seen: HashMap<u64, Tick> = HashMap::new();
+    let mut total_items = 0u64;
+    let mut items_acked = 0u64;
+    let mut reports_sent = 0usize;
+    let mut bytes_sent = 0u64;
+    let mut staleness_sum = 0u64;
+    let mut staleness_ticks = 0u64;
+    let mut distinct_samples = Vec::new();
+    let mut window_samples = Vec::new();
+    let mut expression_samples = Vec::new();
+    let mut jaccard_samples = Vec::new();
+
+    for t in 1..=duration {
+        // 1. Generation.
+        for rt in ps.iter_mut() {
+            if !rt.generating(t) {
+                continue;
+            }
+            let n = (rate_per_party as f64 * multiplier_at(phases, t)).round() as u64;
+            if n == 0 {
+                continue;
+            }
+            for _ in 0..n {
+                let label = rt.draw();
+                rt.generated += 1;
+                rt.dp.observe_with(label, payload_at(t));
+                seen_exact.insert(label);
+                if spec.queries.window.is_some() {
+                    last_seen.insert(label, t);
+                }
+            }
+            rt.pending.push_back((t, n));
+            total_items += n;
+        }
+
+        // 2. Frame emission on the cadence (plus parting frames, the
+        // final flush, and forced re-emits after a resync).
+        for (p, rt) in ps.iter_mut().enumerate() {
+            if !rt.can_send(t) {
+                continue;
+            }
+            let parting = rt.leave_at == Some(t) && rt.graceful;
+            if !(t % report_every == 0 || parting || t == duration) {
+                continue;
+            }
+            let items = rt.dp.sketch().items_observed();
+            if items == 0 || (items == rt.last_emitted_items && !rt.needs_reemit) {
+                continue;
+            }
+            let msg = rt.dp.emit_frame();
+            meta.entry((p, payload_fingerprint(&msg.payload))).or_insert(t);
+            rt.last_frame = Some((t, msg.clone()));
+            rt.last_emitted_items = items;
+            rt.needs_reemit = false;
+            rt.sends += 1;
+            reports_sent += 1;
+            bytes_sent += msg.bytes() as u64;
+            transport.send(msg);
+        }
+
+        // 3. Delivery, per-generation acks, latency accounting.
+        let deliveries = transport.advance(t);
+        let applied = absorb_frame_deliveries(
+            &deliveries,
+            &mut referee,
+            &meta,
+            &mut ps,
+            &mut hist,
+            &mut items_acked,
+            &mut ack_rng,
+            ack_drop,
+            &mut delta_report,
+        );
+
+        // 4. The always-on equivalence oracle at every ack point.
+        if applied {
+            match live_union_matches_full_ship(config, master_seed, &referee, &ps) {
+                Some(true) => delta_report.oracle_checks += 1,
+                Some(false) => {
+                    delta_report.oracle_checks += 1;
+                    delta_report.oracle_failures += 1;
+                }
+                None => delta_report.oracle_skipped += 1,
+            }
+        }
+
+        // 5. Live queries between deltas.
+        if wants_queries && t % query_every == 0 {
+            let mut worst_staleness = 0u64;
+            for rt in ps.iter() {
+                if rt.sends == 0 {
+                    continue;
+                }
+                worst_staleness =
+                    worst_staleness.max(t.saturating_sub(rt.applied_emit_tick.unwrap_or(0)));
+            }
+            staleness_sum += worst_staleness;
+            staleness_ticks += 1;
+            delta_report.staleness_max = delta_report.staleness_max.max(worst_staleness);
+
+            let expected = ps.iter().filter(|rt| rt.joined_at <= t).count();
+            if spec.queries.distinct {
+                let pe = referee.estimate_distinct_partial(expected);
+                distinct_samples.push(DistinctSample {
+                    at: t,
+                    estimate: pe.estimate.value,
+                    parties_heard: pe.parties_heard,
+                    parties_expected: expected,
+                    coverage: pe.coverage(),
+                });
+            }
+            if let Some(w) = spec.queries.window {
+                let estimate = window_answer(&referee, t, w);
+                let truth = last_seen
+                    .values()
+                    .filter(|&&ts| ts <= t && ts + w > t)
+                    .count() as u64;
+                window_samples.push(WindowSample {
+                    at: t,
+                    window: w,
+                    estimate,
+                    truth,
+                });
+            }
+            for (i, expr) in spec.queries.expressions.iter().enumerate() {
+                if let Ok(pe) = referee.query_partial(expr) {
+                    expression_samples.push(ExpressionSample {
+                        at: t,
+                        query: i,
+                        estimate: pe.estimate.estimate.value,
+                        coverage: pe.coverage(),
+                    });
+                }
+            }
+            for (i, (e1, e2)) in spec.queries.jaccard.iter().enumerate() {
+                if let Ok(pj) = referee.query_jaccard_partial(e1, e2) {
+                    jaccard_samples.push(JaccardSample {
+                        at: t,
+                        pair: i,
+                        jaccard: pj.estimate.jaccard,
+                        coverage: pj.coverage(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Final retransmit rounds under the retry budget, with resync
+    // fallbacks re-keyed as fresh full frames.
+    let mut retry_rounds = 0usize;
+    let mut timeout = spec.faults.retry.initial_timeout.max(1);
+    let timeout_cap = spec.faults.retry.max_timeout.max(timeout);
+    loop {
+        let needy: Vec<usize> = ps
+            .iter()
+            .enumerate()
+            .filter(|(_, rt)| {
+                rt.leave_at.is_none()
+                    && ((rt.needs_reemit && !rt.pending.is_empty())
+                        || matches!(
+                            (&rt.last_frame, rt.pending.front()),
+                            (Some((enc, _)), Some(&(gen, _))) if gen <= *enc
+                        ))
+            })
+            .map(|(p, _)| p)
+            .collect();
+        if needy.is_empty() || retry_rounds + 1 >= spec.faults.retry.max_attempts {
+            break;
+        }
+        retry_rounds += 1;
+        for p in needy {
+            let now = transport.now();
+            let msg = if ps[p].needs_reemit {
+                let msg = ps[p].dp.emit_frame();
+                meta.entry((p, payload_fingerprint(&msg.payload)))
+                    .or_insert(now);
+                ps[p].last_frame = Some((now, msg.clone()));
+                ps[p].last_emitted_items = ps[p].dp.sketch().items_observed();
+                ps[p].needs_reemit = false;
+                msg
+            } else {
+                ps[p].last_frame.clone().expect("checked above").1
+            };
+            ps[p].sends += 1;
+            bytes_sent += msg.bytes() as u64;
+            transport.send(msg);
+        }
+        let deadline = transport.now().saturating_add(timeout);
+        let deliveries = transport.advance(deadline);
+        absorb_frame_deliveries(
+            &deliveries,
+            &mut referee,
+            &meta,
+            &mut ps,
+            &mut hist,
+            &mut items_acked,
+            &mut ack_rng,
+            ack_drop,
+            &mut delta_report,
+        );
+        timeout = timeout.saturating_mul(2).min(timeout_cap);
+    }
+    let stragglers = transport.drain();
+    absorb_frame_deliveries(
+        &stragglers,
+        &mut referee,
+        &meta,
+        &mut ps,
+        &mut hist,
+        &mut items_acked,
+        &mut ack_rng,
+        ack_drop,
+        &mut delta_report,
+    );
+
+    let rt = referee.delta_telemetry();
+    delta_report.delta_frames = rt.delta_frames;
+    delta_report.full_frames = rt.full_frames;
+    delta_report.delta_bytes = rt.delta_bytes;
+    delta_report.full_bytes = rt.full_bytes;
+    delta_report.resyncs = rt.resyncs_requested;
+    delta_report.acked_generations = (0..parties)
+        .map(|p| referee.acked_generation(p).unwrap_or(0))
+        .collect();
+    delta_report.staleness_mean = if staleness_ticks == 0 {
+        0.0
+    } else {
+        staleness_sum as f64 / staleness_ticks as f64
+    };
+
+    let senders = ps.iter().filter(|rt| rt.sends > 0).count();
+    let heard = (0..parties).filter(|&p| referee.has_heard(p)).count();
+    let party_coverage = if senders == 0 {
+        1.0
+    } else {
+        heard as f64 / senders as f64
+    };
+    let item_coverage = if total_items == 0 {
+        1.0
+    } else {
+        items_acked as f64 / total_items as f64
+    };
+    let final_estimate = referee.estimate_distinct().value;
+    let truth = seen_exact.len() as u64;
+
+    E2eReport {
+        name: spec.name.clone(),
+        parties,
+        duration,
+        total_items,
+        items_acked,
+        reports_sent,
+        retry_rounds,
+        latency: hist,
+        party_coverage,
+        item_coverage,
+        final_estimate,
+        truth,
+        relative_error: gt_core::relative_error(final_estimate, truth as f64),
+        distinct_samples,
+        window_samples,
+        expression_samples,
+        jaccard_samples,
+        transport: transport.telemetry(),
+        referee: *referee.telemetry(),
+        union_canonical: encode_sketch(referee.union_sketch()),
+        bytes_sent,
+        delta: Some(delta_report),
         run_wall: wall_start.elapsed(),
     }
 }
@@ -2079,5 +2848,187 @@ mod tests {
     #[should_panic(expected = "churn event references party")]
     fn churn_out_of_range_panics() {
         let _ = ScenarioSpec::builder("bad").parties(2).crash(5, 10).build();
+    }
+
+    // ---- delta plane (continuous-monitoring engine) ----
+
+    fn delta_spec() -> ScenarioSpec {
+        ScenarioSpec::builder("delta_small")
+            .parties(4)
+            .distinct_per_party(500)
+            .overlap(0.25)
+            .workload_seed(7)
+            .sustained(3, 60, 10)
+            .query_every(20)
+            .query_distinct()
+            .delta_plane()
+            .build()
+    }
+
+    #[test]
+    fn delta_plane_matches_full_reship_union_and_cuts_bytes() {
+        let full = run_sustained(&cfg(), 42, &small_sustained());
+        let delta = run_continuous(&cfg(), 42, &delta_spec());
+        // Same workload seed, both at full coverage: the final unions
+        // hold the same samples at the same levels, so the estimates are
+        // bit-for-bit equal. (Canonical bytes differ only in per-trial
+        // item counters: the classic engine absorb-merges every cumulative
+        // re-ship while the delta plane stays exactly-once; the engine's
+        // built-in oracle covers the bitwise claim against a fresh ship.)
+        assert_eq!(delta.item_coverage, 1.0);
+        assert_eq!(delta.final_estimate.to_bits(), full.final_estimate.to_bits());
+        assert_eq!(delta.truth, full.truth);
+        let d = delta.delta.as_ref().expect("delta engine reports stats");
+        assert_eq!(d.oracle_failures, 0);
+        assert!(d.oracle_checks > 0, "the oracle must actually run");
+        assert_eq!(d.resyncs, 0, "reliable channel never resyncs");
+        assert_eq!(d.full_frames, 4, "one initial full frame per party");
+        assert!(d.delta_frames > 0);
+        // The communication claim, in miniature: shipping deltas beats
+        // re-shipping cumulative summaries on the same traffic.
+        assert!(
+            delta.bytes_sent < full.bytes_sent,
+            "delta {} full {}",
+            delta.bytes_sent,
+            full.bytes_sent
+        );
+    }
+
+    #[test]
+    fn delta_plane_is_deterministic_under_faults() {
+        let spec = ScenarioSpec::builder("delta_faulty")
+            .parties(4)
+            .distinct_per_party(400)
+            .overlap(0.2)
+            .workload_seed(11)
+            .sustained(3, 80, 10)
+            .transport(TransportSpec::lossy(0.2, 0xFA17))
+            .retry(RetryPolicy {
+                ack_drop_probability: 0.2,
+                ..RetryPolicy::with_budget(6)
+            })
+            .query_every(20)
+            .query_distinct()
+            .delta_plane()
+            .build();
+        let a = run_continuous(&cfg(), 42, &spec);
+        let b = run_continuous(&cfg(), 42, &spec);
+        assert_eq!(a.determinism_key(), b.determinism_key());
+        let d = a.delta.as_ref().unwrap();
+        assert_eq!(d.oracle_failures, 0, "dup/reorder/loss must not corrupt");
+        assert!(d.acks_sent > 0);
+    }
+
+    #[test]
+    fn delta_plane_windowed_queries_answer_from_the_referee() {
+        // Under-capacity and cadence-aligned: at every query tick the
+        // referee has just applied fresh frames, so the distributed
+        // window answer is exact.
+        let spec = ScenarioSpec::builder("delta_window")
+            .parties(2)
+            .distinct_per_party(150)
+            .overlap(0.0)
+            .distribution(Distribution::EachOnce)
+            .workload_seed(3)
+            .sustained(5, 40, 4)
+            .query_every(4)
+            .query_window(8)
+            .build();
+        let spec = ScenarioSpec {
+            reporting: ReportingMode::DeltaPlane,
+            ..spec
+        };
+        let report = run_continuous(&cfg(), 42, &spec);
+        assert!(!report.window_samples.is_empty());
+        for s in &report.window_samples {
+            assert_eq!(
+                s.estimate, s.truth as f64,
+                "window at {} estimate {} truth {}",
+                s.at, s.estimate, s.truth
+            );
+        }
+        let d = report.delta.as_ref().unwrap();
+        assert_eq!(d.oracle_failures, 0);
+        assert_eq!(d.staleness_max, 0, "cadence-aligned queries are fresh");
+    }
+
+    #[test]
+    fn run_spec_dispatches_delta_plane() {
+        match run_spec(&cfg(), 42, &delta_spec()) {
+            ScenarioOutcome::Sustained(r) => {
+                assert!(r.delta.is_some(), "delta plane must report its stats")
+            }
+            other => panic!("expected sustained outcome, got {other:?}"),
+        }
+    }
+
+    // ---- tree-depth knob ----
+
+    #[test]
+    fn tree_fanout_derivation_is_exact() {
+        assert_eq!(tree_fanout_for_depth(9, 2), 3);
+        assert_eq!(tree_fanout_for_depth(4, 2), 2);
+        assert_eq!(tree_fanout_for_depth(8, 3), 2);
+        assert_eq!(tree_fanout_for_depth(27, 3), 3);
+        assert_eq!(tree_fanout_for_depth(5, 1), 5);
+        assert_eq!(tree_fanout_for_depth(2, 4), 2);
+    }
+
+    #[test]
+    fn depth_two_tree_union_is_bitwise_identical_to_flat() {
+        let config = cfg();
+        let wl = WorkloadSpec {
+            parties: 9,
+            distinct_per_party: 600,
+            overlap: 0.3,
+            items_per_party: 2_000,
+            distribution: Distribution::Uniform,
+            seed: 5,
+        };
+        let streams = wl.generate();
+        // Flat union at a single referee.
+        let mut referee = Referee::new(&config, 42);
+        let mut messages = Vec::new();
+        for (id, stream) in streams.streams.iter().enumerate() {
+            let mut party = Party::new(id, &config, 42);
+            party.observe_stream(stream);
+            let msg = party.finish();
+            messages.push(msg.clone());
+            referee.receive(&msg).unwrap();
+        }
+        let flat = encode_sketch(referee.union_sketch());
+        // Depth-2 tree over the same messages, same seed.
+        let fanout = tree_fanout_for_depth(9, 2);
+        let tree = crate::topology::aggregate_tree(&config, 42, messages, fanout).unwrap();
+        assert_eq!(tree.tiers, 2);
+        assert_eq!(tree.root_canonical, flat, "tree reassociation is lossless");
+    }
+
+    #[test]
+    fn tree_depth_spec_matches_flat_classic_run() {
+        let base = ScenarioSpec::builder("flat")
+            .parties(6)
+            .ingest(IngestMode::Sequential)
+            .distinct_per_party(400)
+            .overlap(0.25)
+            .workload_seed(9)
+            .batch(1_500)
+            .build();
+        let tree = ScenarioSpec::builder("tree")
+            .parties(6)
+            .ingest(IngestMode::Sequential)
+            .tree_depth(2)
+            .distinct_per_party(400)
+            .overlap(0.25)
+            .workload_seed(9)
+            .batch(1_500)
+            .build();
+        let (flat_rep, tree_rep) = match (run_spec(&cfg(), 42, &base), run_spec(&cfg(), 42, &tree))
+        {
+            (ScenarioOutcome::Classic(a), ScenarioOutcome::Classic(b)) => (a, b),
+            other => panic!("expected classic outcomes, got {other:?}"),
+        };
+        assert_eq!(flat_rep.estimate.to_bits(), tree_rep.estimate.to_bits());
+        assert_eq!(flat_rep.truth, tree_rep.truth);
     }
 }

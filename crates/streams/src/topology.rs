@@ -27,6 +27,9 @@ pub struct HierarchicalReport {
     pub bytes_per_tier: Vec<usize>,
     /// Messages at each tier.
     pub messages_per_tier: Vec<usize>,
+    /// Canonical encoded bytes of the root union — bitwise identical to
+    /// the flat single-referee union of the same messages.
+    pub root_canonical: bytes::Bytes,
 }
 
 /// Aggregate party messages through a tree with the given fan-out.
@@ -86,12 +89,14 @@ pub fn aggregate_tree(
         tier = next;
     }
 
-    let root: DistinctSketch = decode_sketch(tier.pop().expect("one message remains"))?;
+    let root_canonical = tier.pop().expect("one message remains");
+    let root: DistinctSketch = decode_sketch(root_canonical.clone())?;
     Ok(HierarchicalReport {
         estimate: root.estimate_distinct(),
         tiers,
         bytes_per_tier,
         messages_per_tier,
+        root_canonical,
     })
 }
 
